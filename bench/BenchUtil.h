@@ -1,0 +1,88 @@
+//===- bench/BenchUtil.h - Shared bench helpers -----------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure benches: building the system-AG suite
+/// evaluators, resident-memory sampling, and rate formatting. Every bench
+/// prints the paper-shaped table first (our measured values, with the
+/// paper's reference numbers quoted in the header comment), then runs any
+/// google-benchmark timings it registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_BENCH_BENCHUTIL_H
+#define FNC2_BENCH_BENCHUTIL_H
+
+#include "fnc2/Generator.h"
+#include "olga/Driver.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+#include "workloads/SpecGen.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace fnc2::bench {
+
+/// One compiled-and-generated system AG.
+struct SuiteEntry {
+  workloads::SystemAg Ag;
+  olga::CompileResult Compile;
+  GeneratedEvaluator Evaluator;
+};
+
+/// Compiles the whole AG1..AG7 suite through the front-end and generator.
+/// Aborts the process with a message on failure (benches need the suite).
+inline std::vector<SuiteEntry> buildSystemSuite() {
+  std::vector<SuiteEntry> Out;
+  for (workloads::SystemAg &Ag : workloads::systemAgSuite()) {
+    SuiteEntry E;
+    E.Ag = Ag;
+    DiagnosticEngine Diags;
+    E.Compile = olga::compileMolga(Ag.Source, Diags);
+    if (!E.Compile.Success) {
+      std::fprintf(stderr, "suite %s failed to compile:\n%s\n",
+                   Ag.Name.c_str(), Diags.dump().c_str());
+      std::exit(1);
+    }
+    DiagnosticEngine GD;
+    GeneratorOptions Opts;
+    Opts.OagK = Ag.OagK;
+    E.Evaluator = generateEvaluator(E.Compile.Grammars[0].AG, GD, Opts);
+    if (!E.Evaluator.Success) {
+      std::fprintf(stderr, "suite %s failed to generate:\n%s\n",
+                   Ag.Name.c_str(), GD.dump().c_str());
+      std::exit(1);
+    }
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+/// Current resident set size in kilobytes (0 when unavailable).
+inline long residentKb() {
+  std::ifstream In("/proc/self/status");
+  std::string Word;
+  while (In >> Word)
+    if (Word == "VmRSS:") {
+      long Kb = 0;
+      In >> Kb;
+      return Kb;
+    }
+  return 0;
+}
+
+/// Lines-per-minute throughput for a phase.
+inline std::string linesPerMinute(unsigned Lines, double Seconds) {
+  if (Seconds <= 0)
+    return "-";
+  return TablePrinter::num(Lines * 60.0 / Seconds, 0);
+}
+
+} // namespace fnc2::bench
+
+#endif // FNC2_BENCH_BENCHUTIL_H

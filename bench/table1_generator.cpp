@@ -1,0 +1,64 @@
+//===- bench/table1_generator.cpp - Paper Table 1 -------------------------===//
+//
+// Reproduces Table 1: statistics gathered for the evaluator generator on
+// the seven system AGs. Columns follow the paper: sizes (phyla, operators,
+// attribute occurrences, semantic rules), the AG class determined by the
+// cascade, the storage split (% variables / % stacks / % non-temporary),
+// group counts after packing, copy-rule elimination ratios and CPU time.
+//
+// Paper reference shapes (Sun-3/60, 1990): classes OAG(0) for most AGs, one
+// DNC (AG 5, the largest) and one OAG(1) (AG 7); temporaries (variables +
+// stacks) above ~80%; elimination close to the optimum (the "% elim./poss."
+// column near 90%); times non-linear but non-exponential in AG size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace fnc2;
+using namespace fnc2::bench;
+
+static void printTable1() {
+  auto Suite = buildSystemSuite();
+  TablePrinter T({"AG", "role", "phyla", "operators", "occ. attr.",
+                  "sem. rules", "class", "% vars", "% stacks", "% non-temp.",
+                  "# variables", "# stacks", "% elim./copy", "% elim./poss.",
+                  "avg part.", "max part.", "time (s)"});
+  for (const SuiteEntry &E : Suite) {
+    Table1Row R = E.Evaluator.statsRow(E.Compile.Grammars[0].AG);
+    T.addRow({E.Ag.Name, E.Ag.Role.substr(0, 28), std::to_string(R.Phyla),
+              std::to_string(R.Operators), std::to_string(R.OccAttrs),
+              std::to_string(R.SemRules), R.ClassName,
+              TablePrinter::pct(R.PctVars), TablePrinter::pct(R.PctStacks),
+              TablePrinter::pct(R.PctNonTemp),
+              std::to_string(R.NumVariables), std::to_string(R.NumStacks),
+              TablePrinter::pct(R.PctElimOfCopy),
+              TablePrinter::pct(R.PctElimOfPoss),
+              TablePrinter::num(R.AvgPartitions, 2),
+              std::to_string(R.MaxPartitions),
+              TablePrinter::num(R.TimeSec, 4)});
+  }
+  std::printf("== Table 1: evaluator generator statistics (AG1..AG7) ==\n%s\n",
+              T.str().c_str());
+}
+
+static void BM_GenerateAG5(benchmark::State &State) {
+  auto Suite = workloads::systemAgSuite();
+  DiagnosticEngine Diags;
+  olga::CompileResult R = olga::compileMolga(Suite[4].Source, Diags);
+  for (auto _ : State) {
+    DiagnosticEngine D;
+    GeneratedEvaluator GE = generateEvaluator(R.Grammars[0].AG, D);
+    benchmark::DoNotOptimize(GE.Success);
+  }
+}
+BENCHMARK(BM_GenerateAG5)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

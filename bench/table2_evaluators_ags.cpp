@@ -1,0 +1,100 @@
+//===- bench/table2_evaluators_ags.cpp - Paper Table 2 --------------------===//
+//
+// Reproduces Table 2: processing statistics of the generated evaluators on
+// AG sources. Rows are molga grammar specifications of increasing size;
+// columns: #lines, per-phase CPU time (input = scan/parse/tree construction;
+// typing = type- and well-definedness checking, which builds the abstract
+// AG; translator = translation to C of the non-AG parts), memory, total
+// time (including evaluator generation, as in the paper), and lines/minute.
+//
+// Paper reference shape: typing dominates input; the whole-process rate is
+// not meaningful because evaluator generation is non-linear; memory around
+// 1.3-1.4 kb per input line on a Sun-3/60.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "codegen/CEmitter.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace fnc2;
+using namespace fnc2::bench;
+
+static void printTable2() {
+  TablePrinter T({"AG source", "# lines", "input (s)", "typing (s)",
+                  "translator (s)", "memory (kB)", "total (s)", "input l/mn",
+                  "typing l/mn"});
+  struct Row {
+    const char *Name;
+    unsigned Phyla;
+    unsigned Ops;
+    unsigned Pairs;
+    unsigned Funs;
+  } Rows[] = {
+      {"spec-small", 6, 3, 1, 6},    {"spec-medium", 16, 4, 2, 10},
+      {"spec-large", 40, 4, 2, 14},  {"spec-xlarge", 80, 5, 3, 20},
+      {"spec-xxlarge", 160, 5, 3, 24},
+  };
+  for (const Row &R : Rows) {
+    workloads::SpecGenOptions Opts;
+    Opts.Name = "T2";
+    Opts.Phyla = R.Phyla;
+    Opts.OperatorsPerPhylum = R.Ops;
+    Opts.AttrPairs = R.Pairs;
+    Opts.Funs = R.Funs;
+    Opts.Seed = 1000 + R.Phyla;
+    std::string Src = workloads::generateMolgaSpec(Opts);
+
+    Timer Total;
+    DiagnosticEngine Diags;
+    olga::CompileResult C = olga::compileMolga(Src, Diags);
+    if (!C.Success) {
+      std::fprintf(stderr, "%s failed: %s\n", R.Name, Diags.dump().c_str());
+      continue;
+    }
+    DiagnosticEngine GD;
+    GeneratedEvaluator GE = generateEvaluator(C.Grammars[0].AG, GD);
+    Timer Translate;
+    CEmitStats CS;
+    DiagnosticEngine ED;
+    std::string CCode = emitC(C.Grammars[0], GE, CS, ED);
+    double TranslatorSec = Translate.seconds();
+    double TotalSec = Total.seconds();
+    benchmark::DoNotOptimize(CCode.size());
+
+    T.addRow({R.Name, std::to_string(C.Lines),
+              TablePrinter::num(C.Phases.InputSec, 4),
+              TablePrinter::num(C.Phases.TypingSec, 4),
+              TablePrinter::num(TranslatorSec, 4),
+              std::to_string(residentKb()), TablePrinter::num(TotalSec, 4),
+              linesPerMinute(C.Lines, C.Phases.InputSec),
+              linesPerMinute(C.Lines, C.Phases.TypingSec)});
+  }
+  std::printf("== Table 2: generated-evaluator statistics on AG sources ==\n"
+              "%s\n",
+              T.str().c_str());
+}
+
+static void BM_CompileMediumSpec(benchmark::State &State) {
+  workloads::SpecGenOptions Opts;
+  Opts.Name = "T2";
+  Opts.Phyla = 16;
+  Opts.AttrPairs = 2;
+  Opts.Seed = 1016;
+  std::string Src = workloads::generateMolgaSpec(Opts);
+  for (auto _ : State) {
+    DiagnosticEngine D;
+    olga::CompileResult C = olga::compileMolga(Src, D);
+    benchmark::DoNotOptimize(C.Success);
+  }
+}
+BENCHMARK(BM_CompileMediumSpec)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printTable2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

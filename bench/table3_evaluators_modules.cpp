@@ -1,0 +1,77 @@
+//===- bench/table3_evaluators_modules.cpp - Paper Table 3 ----------------===//
+//
+// Reproduces Table 3: the same processing statistics on *modules* (molga
+// texts not specifying an AG). Rows mirror the paper's C1/F1..C6/F6 pairs:
+// Cn are small declaration-style modules, Fn the larger definition modules.
+// The typing rate here is the compiler-like figure the paper highlights
+// (an AG source additionally pays for well-definedness checking, so module
+// typing is faster per line than AG typing — compare with Table 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "codegen/CEmitter.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace fnc2;
+using namespace fnc2::bench;
+
+static void printTable3() {
+  TablePrinter T({"module", "# lines", "input (s)", "typing (s)",
+                  "translator (s)", "memory (kB)", "total (s)",
+                  "typing l/mn"});
+  // Fun counts chosen so line counts roughly follow the paper's rows
+  // (C1 189 / F1 372 / ... / F2 3188 being the largest).
+  struct Row {
+    const char *Name;
+    unsigned Funs;
+  } Rows[] = {{"C1", 30},  {"F1", 60},  {"C2", 50},  {"F2", 520},
+              {"C3", 45},  {"F3", 180}, {"C4", 65},  {"F4", 200},
+              {"C5", 66},  {"F5", 150}, {"C6", 14},  {"F6", 45}};
+  unsigned Seed = 42;
+  for (const Row &R : Rows) {
+    std::string Src = workloads::generateMolgaModule(R.Name, R.Funs, ++Seed);
+    Timer Total;
+    DiagnosticEngine Diags;
+    olga::CompileResult C = olga::compileMolga(Src, Diags);
+    if (!C.Success) {
+      std::fprintf(stderr, "%s failed: %s\n", R.Name, Diags.dump().c_str());
+      continue;
+    }
+    Timer Translate;
+    CEmitStats CS;
+    DiagnosticEngine ED;
+    std::string CCode = emitCFunctions(*C.Prog, CS, ED);
+    double TranslatorSec = Translate.seconds();
+    double TotalSec = Total.seconds();
+    benchmark::DoNotOptimize(CCode.size());
+
+    T.addRow({R.Name, std::to_string(C.Lines),
+              TablePrinter::num(C.Phases.InputSec, 4),
+              TablePrinter::num(C.Phases.TypingSec, 4),
+              TablePrinter::num(TranslatorSec, 4),
+              std::to_string(residentKb()), TablePrinter::num(TotalSec, 4),
+              linesPerMinute(C.Lines, C.Phases.TypingSec)});
+  }
+  std::printf("== Table 3: generated-evaluator statistics on modules ==\n%s\n",
+              T.str().c_str());
+}
+
+static void BM_TypeCheckLargeModule(benchmark::State &State) {
+  std::string Src = workloads::generateMolgaModule("F2", 520, 7);
+  for (auto _ : State) {
+    DiagnosticEngine D;
+    olga::CompileResult C = olga::compileMolga(Src, D);
+    benchmark::DoNotOptimize(C.Success);
+  }
+}
+BENCHMARK(BM_TypeCheckLargeModule)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printTable3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,17 @@
+var n: int;
+var sum: int;
+var big: bool;
+begin
+  n := 10;
+  sum := 0;
+  while 0 < n do begin
+    sum := sum + n * n;
+    n := n - 1;
+  end;
+  big := 100 < sum;
+  if big then begin
+    write sum;
+  end else begin
+    write 0;
+  end;
+end

@@ -1,0 +1,80 @@
+//===- examples/incremental_editor.cpp - incremental reevaluation ---------===//
+//
+// A language-based-editor scenario (the Synthesizer-Generator-style use the
+// paper targets with its incremental evaluators, section 2.1.2): an
+// expression is evaluated once, then edited repeatedly; every update
+// re-establishes consistency while touching only the affected attribute
+// instances, with statistics after each edit. A quadratic-size expression
+// makes the savings visible.
+//
+// Run:  ./incremental_editor
+//
+//===----------------------------------------------------------------------===//
+
+#include "fnc2/Generator.h"
+#include "incremental/Incremental.h"
+#include "tree/TreeGen.h"
+#include "workloads/ClassicGrammars.h"
+
+#include <cstdio>
+
+using namespace fnc2;
+
+static int64_t result(const AttributeGrammar &AG, const Tree &T) {
+  PhylumId Prog = AG.findPhylum("Prog");
+  AttrId R = AG.findAttr(Prog, "result");
+  return T.root()->AttrVals[AG.attr(R).IndexInOwner].asInt();
+}
+
+int main() {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  DiagnosticEngine GD;
+  GeneratedEvaluator GE = generateEvaluator(AG, GD);
+  if (!GE.Success) {
+    std::fprintf(stderr, "%s", GD.dump().c_str());
+    return 1;
+  }
+
+  TreeGenerator Gen(AG, 2024);
+  Tree T = Gen.generate(20000);
+  std::printf("document: %u nodes\n", T.size());
+
+  IncrementalEvaluator IE(GE.Plan);
+  DiagnosticEngine D;
+  if (!IE.initial(T, D)) {
+    std::fprintf(stderr, "%s", D.dump().c_str());
+    return 1;
+  }
+  std::printf("initial value: %ld\n\n", (long)result(AG, T));
+
+  // A series of edits at various depths.
+  ProdId Num = AG.findProd("Num");
+  for (int Edit = 0; Edit != 6; ++Edit) {
+    // Walk down a pseudo-random path to a node of phylum Exp.
+    TreeNode *N = T.root()->child(0);
+    for (int Hop = 0; Hop != 4 + Edit * 3 && N->arity() != 0; ++Hop)
+      N = N->child((Edit + Hop) % N->arity());
+
+    std::string Replaced = writeTerm(AG, N).substr(0, 40);
+    IE.replaceSubtree(T, N, T.makeLeaf(Num, Value::ofInt(100 + Edit)));
+    IE.resetStats();
+    if (!IE.update(T, D)) {
+      std::fprintf(stderr, "%s", D.dump().c_str());
+      return 1;
+    }
+    const IncrementalStats &S = IE.stats();
+    std::printf("edit %d: replace %-42s -> value %-12ld "
+                "(%llu rules recomputed, %llu unchanged cutoffs, "
+                "%llu visits skipped)\n",
+                Edit, (Replaced + "...").c_str(), (long)result(AG, T),
+                (unsigned long long)S.RulesReevaluated,
+                (unsigned long long)S.ValuesUnchanged,
+                (unsigned long long)S.VisitsSkipped);
+  }
+
+  std::printf("\nFor comparison, a full reevaluation recomputes every rule "
+              "instance of the %u-node tree on each edit.\n",
+              T.size());
+  return 0;
+}

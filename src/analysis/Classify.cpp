@@ -1,0 +1,42 @@
+//===- analysis/Classify.cpp ----------------------------------------------===//
+
+#include "analysis/Classify.h"
+
+using namespace fnc2;
+
+std::string ClassifyResult::className() const {
+  switch (Class) {
+  case AgClass::NotSNC:
+    return "not SNC";
+  case AgClass::SNC:
+    return "SNC";
+  case AgClass::DNC:
+    return "DNC";
+  case AgClass::OAG:
+    return "OAG(" + std::to_string(Oag.UsedK) + ")";
+  }
+  return "?";
+}
+
+ClassifyResult fnc2::classifyGrammar(const AttributeGrammar &AG,
+                                     unsigned OagK) {
+  ClassifyResult R;
+  R.Snc = runSncTest(AG);
+  if (!R.Snc.IsSNC) {
+    R.Class = AgClass::NotSNC;
+    return R;
+  }
+  R.Class = AgClass::SNC;
+
+  R.Dnc = runDncTest(AG, R.Snc);
+  R.DncRan = true;
+  if (!R.Dnc.IsDNC)
+    return R;
+  R.Class = AgClass::DNC;
+
+  R.Oag = runOagTest(AG, OagK);
+  R.OagRan = true;
+  if (R.Oag.IsOAG)
+    R.Class = AgClass::OAG;
+  return R;
+}

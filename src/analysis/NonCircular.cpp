@@ -1,0 +1,174 @@
+//===- analysis/NonCircular.cpp - Knuth's exact NC test -------------------===//
+//
+// The exponential set-of-graphs non-circularity test, kept as a baseline:
+// it demonstrates why FNC-2 uses the polynomial SNC approximation instead
+// (paper section 2.1.1 and the covering work of Lorho & Pair [37]).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Circularity.h"
+
+#include <algorithm>
+
+using namespace fnc2;
+
+namespace {
+
+/// The set of realizable IO graphs of one phylum, deduplicated.
+struct GraphSet {
+  std::vector<BitMatrix> Graphs;
+
+  bool insert(const BitMatrix &M) {
+    if (std::find(Graphs.begin(), Graphs.end(), M) != Graphs.end())
+      return false;
+    Graphs.push_back(M);
+    return true;
+  }
+};
+
+} // namespace
+
+NcResult fnc2::runNcTest(const AttributeGrammar &AG, unsigned MaxGraphs) {
+  NcResult R;
+  std::vector<GraphSet> Sets(AG.numPhyla());
+
+  auto totalGraphs = [&] {
+    unsigned N = 0;
+    for (const GraphSet &S : Sets)
+      N += static_cast<unsigned>(S.Graphs.size());
+    return N;
+  };
+
+  // For each production, enumerate every combination of one realizable IO
+  // graph per RHS child, close DP(p) with the combination, and project a
+  // fresh IO graph for the LHS. A cycle in any realizable combination means
+  // the grammar is circular.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProdId P = 0; P != AG.numProds(); ++P) {
+      const Production &Pr = AG.prod(P);
+      unsigned Arity = Pr.arity();
+
+      // Choice indices per child; children whose set is still empty get the
+      // empty graph as their single choice (realizable via not-yet-seen
+      // subtrees is pessimistically approximated from below: the fixpoint
+      // grows sets monotonically so this converges to the exact result).
+      std::vector<unsigned> Choice(Arity, 0);
+      auto childGraphCount = [&](unsigned C) -> unsigned {
+        return std::max<size_t>(1, Sets[Pr.Rhs[C]].Graphs.size());
+      };
+
+      while (true) {
+        // Build augmented graph for this combination.
+        const ProductionInfo &PI = AG.info(P);
+        Digraph G(PI.numOccs());
+        G.unionEdges(PI.DepGraph);
+        for (unsigned C = 0; C != Arity; ++C) {
+          const GraphSet &S = Sets[Pr.Rhs[C]];
+          if (S.Graphs.empty())
+            continue;
+          const BitMatrix &M = S.Graphs[Choice[C]];
+          unsigned N = static_cast<unsigned>(AG.phylum(Pr.Rhs[C]).Attrs.size());
+          if (N != 0) {
+            OccId Base =
+                PI.occId(AttrOcc::onSymbol(C + 1,
+                                           AG.phylum(Pr.Rhs[C]).Attrs.front()));
+            for (unsigned A = 0; A != N; ++A)
+              for (unsigned B = 0; B != N; ++B)
+                if (M.test(A, B))
+                  G.addEdge(Base + A, Base + B);
+          }
+        }
+
+        std::vector<unsigned> Cycle = G.findCycle();
+        if (!Cycle.empty()) {
+          R.IsNC = false;
+          R.Witness.Prod = P;
+          R.Witness.Cycle = std::move(Cycle);
+          R.GraphCount = totalGraphs();
+          return R;
+        }
+
+        // Project the LHS IO graph of this combination.
+        BitMatrix Closure = closureOf(G);
+        unsigned NL = static_cast<unsigned>(AG.phylum(Pr.Lhs).Attrs.size());
+        BitMatrix LhsIO(NL, NL);
+        if (NL != 0) {
+          OccId Base =
+              PI.occId(AttrOcc::onSymbol(0, AG.phylum(Pr.Lhs).Attrs.front()));
+          for (unsigned A = 0; A != NL; ++A)
+            for (unsigned B = 0; B != NL; ++B)
+              if (A != B && Closure.test(Base + A, Base + B))
+                LhsIO.set(A, B);
+        }
+        Changed |= Sets[Pr.Lhs].insert(LhsIO);
+
+        if (totalGraphs() > MaxGraphs) {
+          R.GaveUp = true;
+          R.GraphCount = totalGraphs();
+          return R;
+        }
+
+        // Advance the combination odometer.
+        unsigned C = 0;
+        for (; C != Arity; ++C) {
+          if (++Choice[C] < childGraphCount(C))
+            break;
+          Choice[C] = 0;
+        }
+        if (C == Arity)
+          break;
+      }
+    }
+  }
+
+  R.IsNC = true;
+  R.GraphCount = totalGraphs();
+  return R;
+}
+
+std::string fnc2::formatCircularityTrace(const AttributeGrammar &AG,
+                                         const CycleWitness &Witness,
+                                         const PhylumRelation *Below,
+                                         const PhylumRelation *Above) {
+  if (Witness.empty())
+    return "no circularity witness\n";
+  const ProdId P = Witness.Prod;
+  const Production &Pr = AG.prod(P);
+  const ProductionInfo &PI = AG.info(P);
+
+  std::string Out;
+  Out += "circularity in operator '" + Pr.Name + "' (" +
+         AG.phylum(Pr.Lhs).Name + " ->";
+  for (PhylumId C : Pr.Rhs)
+    Out += " " + AG.phylum(C).Name;
+  Out += "):\n";
+
+  auto edgeOrigin = [&](OccId From, OccId To) -> std::string {
+    if (PI.DepGraph.hasEdge(From, To)) {
+      RuleId R = PI.DefiningRule[To];
+      if (R != InvalidId)
+        return "semantic rule '" + AG.rule(R).FnName + "'";
+      return "semantic rule";
+    }
+    const AttrOcc &FromOcc = PI.Occs[From];
+    const AttrOcc &ToOcc = PI.Occs[To];
+    if (FromOcc.isOnSymbol() && ToOcc.isOnSymbol() &&
+        FromOcc.Pos == ToOcc.Pos) {
+      if (FromOcc.Pos == 0 && Above)
+        return "induced from above (OI selector)";
+      if (FromOcc.Pos != 0 && Below)
+        return "induced from below (IO selector)";
+    }
+    return "induced dependency";
+  };
+
+  for (size_t I = 0; I != Witness.Cycle.size(); ++I) {
+    OccId From = Witness.Cycle[I];
+    OccId To = Witness.Cycle[(I + 1) % Witness.Cycle.size()];
+    Out += "  " + AG.occName(P, PI.Occs[From]) + " -> " +
+           AG.occName(P, PI.Occs[To]) + "   [" + edgeOrigin(From, To) + "]\n";
+  }
+  return Out;
+}

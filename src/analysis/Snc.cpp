@@ -1,0 +1,86 @@
+//===- analysis/Snc.cpp - Strong non-circularity test ---------------------===//
+
+#include "analysis/Circularity.h"
+
+using namespace fnc2;
+
+SncResult fnc2::runSncTest(const AttributeGrammar &AG) {
+  SncResult R;
+  R.IO = PhylumRelation(AG);
+
+  // Fixpoint: IO(lhs(p)) absorbs the projection of the closed augmented
+  // graph DP(p) + IO(children).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++R.Iterations;
+    for (ProdId P = 0; P != AG.numProds(); ++P) {
+      AugmentOptions Opts;
+      Opts.Below = &R.IO;
+      Digraph G = buildAugmentedGraph(AG, P, Opts);
+      BitMatrix Closure = closureOf(G);
+      Changed |= projectOntoSymbol(AG, P, 0, Closure, R.IO);
+    }
+  }
+
+  // The grammar is SNC iff every augmented graph is acyclic.
+  for (ProdId P = 0; P != AG.numProds(); ++P) {
+    AugmentOptions Opts;
+    Opts.Below = &R.IO;
+    Digraph G = buildAugmentedGraph(AG, P, Opts);
+    std::vector<unsigned> Cycle = G.findCycle();
+    if (!Cycle.empty()) {
+      R.IsSNC = false;
+      R.Witness.Prod = P;
+      R.Witness.Cycle = std::move(Cycle);
+      return R;
+    }
+  }
+  R.IsSNC = true;
+  return R;
+}
+
+DncResult fnc2::runDncTest(const AttributeGrammar &AG, const SncResult &Snc) {
+  DncResult R;
+  R.OI = PhylumRelation(AG);
+  assert(Snc.IsSNC && "DNC test runs only after a successful SNC test");
+
+  // Fixpoint: OI(child) absorbs the projection of the closed graph
+  // DP(p) + IO(children) + OI(lhs) onto that child occurrence.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++R.Iterations;
+    for (ProdId P = 0; P != AG.numProds(); ++P) {
+      AugmentOptions Opts;
+      Opts.Below = &Snc.IO;
+      Opts.Above = &R.OI;
+      Digraph G = buildAugmentedGraph(AG, P, Opts);
+      BitMatrix Closure = closureOf(G);
+      for (unsigned C = 0; C != AG.prod(P).arity(); ++C)
+        Changed |= projectOntoSymbol(AG, P, C + 1, Closure, R.OI);
+    }
+  }
+
+  // DNC iff every doubly-augmented graph DP(p) + IO(children) + OI(lhs)
+  // is acyclic: the selectors are consistent when closed from below and
+  // from above, which is what start-anywhere (incremental) evaluation
+  // needs. OI is not pasted onto the children here — that would re-inject
+  // paths through p's own context and reject realizable grammars (a node
+  // has exactly one context).
+  for (ProdId P = 0; P != AG.numProds(); ++P) {
+    AugmentOptions Opts;
+    Opts.Below = &Snc.IO;
+    Opts.Above = &R.OI;
+    Digraph G = buildAugmentedGraph(AG, P, Opts);
+    std::vector<unsigned> Cycle = G.findCycle();
+    if (!Cycle.empty()) {
+      R.IsDNC = false;
+      R.Witness.Prod = P;
+      R.Witness.Cycle = std::move(Cycle);
+      return R;
+    }
+  }
+  R.IsDNC = true;
+  return R;
+}

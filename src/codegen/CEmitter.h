@@ -1,0 +1,48 @@
+//===- codegen/CEmitter.h - Translation to C --------------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translator to C (paper section 3.2): emits a self-contained C source
+/// implementing a generated evaluator — a small value runtime, the
+/// constants and functions of the molga modules (the "non-AG parts",
+/// workload AG 7's job), per-rule semantic functions, abstract tree
+/// constructors (workload AG 3's job), and the visit sequences as static
+/// tables driven by an embedded interpreter. The original translators were
+/// admittedly naive (no garbage collector); ours leaks likewise, on
+/// purpose, to stay close to the paper's C backend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_CODEGEN_CEMITTER_H
+#define FNC2_CODEGEN_CEMITTER_H
+
+#include "fnc2/Generator.h"
+#include "olga/Driver.h"
+
+namespace fnc2 {
+
+struct CEmitStats {
+  unsigned Functions = 0;
+  unsigned Rules = 0;
+  unsigned Constructors = 0;
+  unsigned VisitSequences = 0;
+  unsigned Lines = 0;
+};
+
+/// Emits C for one lowered grammar plus its program (functions/constants)
+/// and generated evaluator. Returns the C source text.
+std::string emitC(const olga::LoweredGrammar &LG,
+                  const GeneratedEvaluator &GE, CEmitStats &Stats,
+                  DiagnosticEngine &Diags);
+
+/// Emits only the non-AG parts (constants and functions of every module in
+/// the program) — the paper's AG 7 workload.
+std::string emitCFunctions(const olga::Program &Prog, CEmitStats &Stats,
+                           DiagnosticEngine &Diags);
+
+} // namespace fnc2
+
+#endif // FNC2_CODEGEN_CEMITTER_H

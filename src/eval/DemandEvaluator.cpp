@@ -1,0 +1,131 @@
+//===- eval/DemandEvaluator.cpp -------------------------------------------===//
+
+#include "eval/DemandEvaluator.h"
+
+#include <algorithm>
+
+using namespace fnc2;
+
+void DemandEvaluator::setRootInherited(AttrId A, Value V) {
+  for (auto &[Attr, Val] : RootInh)
+    if (Attr == A) {
+      Val = std::move(V);
+      return;
+    }
+  RootInh.emplace_back(A, std::move(V));
+}
+
+bool DemandEvaluator::runRule(TreeNode *N, RuleId R, DiagnosticEngine &Diags) {
+  const SemanticRule &Rule = AG.rule(R);
+  if (!Rule.Fn) {
+    Diags.error("rule for '" + AG.occName(Rule.Prod, Rule.Target) +
+                "' has no semantic function");
+    return false;
+  }
+  std::vector<Value> Args;
+  Args.reserve(Rule.Args.size());
+  for (const AttrOcc &Arg : Rule.Args) {
+    if (!forceOcc(N, Arg, Diags))
+      return false;
+    Args.push_back(readOcc(AG, N, Arg));
+  }
+  writeOcc(AG, N, Rule.Target, Rule.Fn(Args));
+  ++Stats.RulesEvaluated;
+  return true;
+}
+
+bool DemandEvaluator::forceOcc(TreeNode *N, const AttrOcc &O,
+                               DiagnosticEngine &Diags) {
+  ++Stats.InstructionsExecuted; // scheduling overhead: one dispatch per access
+  if (O.isLexeme())
+    return true;
+  ensureNodeStorage(AG, N);
+  if (O.isLocal()) {
+    if (N->LocalComputed[O.LocalIndex])
+      return true;
+    RuleId R = AG.info(N->Prod).DefiningRule[AG.info(N->Prod).occId(O)];
+    if (R == InvalidId) {
+      Diags.error("local attribute without a defining rule");
+      return false;
+    }
+    return runRule(N, R, Diags);
+  }
+  TreeNode *Site = O.Pos == 0 ? N : N->child(O.Pos - 1);
+  return force(Site, O.Attr, Diags);
+}
+
+bool DemandEvaluator::force(TreeNode *N, AttrId A, DiagnosticEngine &Diags) {
+  const Attribute &At = AG.attr(A);
+  unsigned Idx = At.IndexInOwner;
+  ensureNodeStorage(AG, N);
+  if (N->AttrComputed[Idx])
+    return true;
+
+  auto Key = std::make_pair(static_cast<const TreeNode *>(N), Idx);
+  if (std::find(InProgress.begin(), InProgress.end(), Key) !=
+      InProgress.end()) {
+    Diags.error("circular attribute dependency at run time on attribute '" +
+                At.Name + "'");
+    return false;
+  }
+  InProgress.push_back(Key);
+  bool Ok = false;
+
+  if (At.isSynthesized()) {
+    // Defined by a rule of this node's production.
+    const ProductionInfo &PI = AG.info(N->Prod);
+    RuleId R = PI.DefiningRule[PI.occId(AttrOcc::onSymbol(0, A))];
+    if (R == InvalidId)
+      Diags.error("synthesized attribute '" + At.Name +
+                  "' has no defining rule in operator '" +
+                  AG.prod(N->Prod).Name + "'");
+    else
+      Ok = runRule(N, R, Diags);
+  } else if (N->Parent) {
+    // Defined by a rule of the parent's production.
+    TreeNode *Par = N->Parent;
+    const ProductionInfo &PI = AG.info(Par->Prod);
+    RuleId R =
+        PI.DefiningRule[PI.occId(AttrOcc::onSymbol(N->IndexInParent + 1, A))];
+    if (R == InvalidId)
+      Diags.error("inherited attribute '" + At.Name +
+                  "' has no defining rule in operator '" +
+                  AG.prod(Par->Prod).Name + "'");
+    else
+      Ok = runRule(Par, R, Diags);
+  } else {
+    // Root: externally provided.
+    for (auto &[Attr, Val] : RootInh)
+      if (Attr == A) {
+        N->AttrVals[Idx] = Val;
+        N->AttrComputed[Idx] = 1;
+        Ok = true;
+      }
+    if (!Ok)
+      Diags.error("inherited attribute '" + At.Name +
+                  "' of the root was not provided");
+  }
+
+  InProgress.pop_back();
+  return Ok && N->AttrComputed[Idx];
+}
+
+static bool forceSubtree(DemandEvaluator &E, const AttributeGrammar &AG,
+                         TreeNode *N, DiagnosticEngine &Diags) {
+  for (AttrId A : AG.phylum(AG.prod(N->Prod).Lhs).Attrs)
+    if (!E.force(N, A, Diags))
+      return false;
+  for (auto &C : N->Children)
+    if (!forceSubtree(E, AG, C.get(), Diags))
+      return false;
+  return true;
+}
+
+bool DemandEvaluator::evaluateAll(Tree &T, DiagnosticEngine &Diags) {
+  if (!T.root()) {
+    Diags.error("cannot evaluate an empty tree");
+    return false;
+  }
+  T.resetAttributes();
+  return forceSubtree(*this, AG, T.root(), Diags);
+}

@@ -1,0 +1,160 @@
+//===- eval/Evaluator.cpp -------------------------------------------------===//
+
+#include "eval/Evaluator.h"
+
+using namespace fnc2;
+
+void fnc2::ensureNodeStorage(const AttributeGrammar &AG, TreeNode *N) {
+  const Production &Pr = AG.prod(N->Prod);
+  unsigned NumAttrs = static_cast<unsigned>(AG.phylum(Pr.Lhs).Attrs.size());
+  if (N->AttrVals.size() != NumAttrs) {
+    N->AttrVals.assign(NumAttrs, Value());
+    N->AttrComputed.assign(NumAttrs, 0);
+  }
+  unsigned NumLocals = static_cast<unsigned>(Pr.Locals.size());
+  if (N->LocalVals.size() != NumLocals) {
+    N->LocalVals.assign(NumLocals, Value());
+    N->LocalComputed.assign(NumLocals, 0);
+  }
+}
+
+const Value &fnc2::readOcc(const AttributeGrammar &AG, TreeNode *N,
+                           const AttrOcc &O) {
+  if (O.isLexeme())
+    return N->Lexeme;
+  if (O.isLocal()) {
+    assert(N->LocalComputed[O.LocalIndex] && "local read before definition");
+    return N->LocalVals[O.LocalIndex];
+  }
+  TreeNode *Site = O.Pos == 0 ? N : N->child(O.Pos - 1);
+  unsigned Idx = AG.attr(O.Attr).IndexInOwner;
+  ensureNodeStorage(AG, Site);
+  assert(Site->AttrComputed[Idx] && "attribute read before definition");
+  return Site->AttrVals[Idx];
+}
+
+void fnc2::writeOcc(const AttributeGrammar &AG, TreeNode *N, const AttrOcc &O,
+                    Value V) {
+  assert(!O.isLexeme() && "lexeme is read-only");
+  if (O.isLocal()) {
+    N->LocalVals[O.LocalIndex] = std::move(V);
+    N->LocalComputed[O.LocalIndex] = 1;
+    return;
+  }
+  TreeNode *Site = O.Pos == 0 ? N : N->child(O.Pos - 1);
+  ensureNodeStorage(AG, Site);
+  unsigned Idx = AG.attr(O.Attr).IndexInOwner;
+  Site->AttrVals[Idx] = std::move(V);
+  Site->AttrComputed[Idx] = 1;
+}
+
+void Evaluator::setRootInherited(AttrId A, Value V) {
+  for (auto &[Attr, Val] : RootInh)
+    if (Attr == A) {
+      Val = std::move(V);
+      return;
+    }
+  RootInh.emplace_back(A, std::move(V));
+}
+
+bool Evaluator::execEval(TreeNode *N, const std::vector<RuleId> &Rules,
+                         DiagnosticEngine &Diags) {
+  const AttributeGrammar &AG = *Plan.AG;
+  for (RuleId R : Rules) {
+    const SemanticRule &Rule = AG.rule(R);
+    if (!Rule.Fn) {
+      Diags.error("rule for '" + AG.occName(Rule.Prod, Rule.Target) +
+                  "' in operator '" + AG.prod(Rule.Prod).Name +
+                  "' has no semantic function");
+      return false;
+    }
+    std::vector<Value> Args;
+    Args.reserve(Rule.Args.size());
+    for (const AttrOcc &Arg : Rule.Args)
+      Args.push_back(readOcc(AG, N, Arg));
+    writeOcc(AG, N, Rule.Target, Rule.Fn(Args));
+    ++Stats.RulesEvaluated;
+  }
+  return true;
+}
+
+bool Evaluator::runVisit(TreeNode *N, unsigned VisitNo,
+                         DiagnosticEngine &Diags) {
+  const AttributeGrammar &AG = *Plan.AG;
+  ensureNodeStorage(AG, N);
+  const VisitSequence *Seq = Plan.find(N->Prod, N->PartitionId);
+  if (!Seq) {
+    Diags.error("no visit sequence for operator '" + AG.prod(N->Prod).Name +
+                "' under partition " + std::to_string(N->PartitionId));
+    return false;
+  }
+  assert(VisitNo >= 1 && VisitNo <= Seq->NumVisits && "visit out of range");
+  ++Stats.VisitsPerformed;
+
+  for (unsigned I = Seq->BeginIndex[VisitNo - 1] + 1;; ++I) {
+    assert(I < Seq->Instrs.size() && "ran past the end of a visit sequence");
+    const VisitInstr &Instr = Seq->Instrs[I];
+    ++Stats.InstructionsExecuted;
+    switch (Instr.Kind) {
+    case VisitInstr::Op::Eval:
+      if (!execEval(N, Instr.Rules, Diags))
+        return false;
+      break;
+    case VisitInstr::Op::Visit: {
+      TreeNode *Child = N->child(Instr.Child);
+      Child->PartitionId = Instr.ChildPartition;
+      if (!runVisit(Child, Instr.VisitNo, Diags))
+        return false;
+      break;
+    }
+    case VisitInstr::Op::Leave:
+      assert(Instr.VisitNo == VisitNo && "mismatched LEAVE");
+      return true;
+    case VisitInstr::Op::Begin:
+      assert(false && "BEGIN inside a visit body");
+      return false;
+    }
+  }
+}
+
+bool Evaluator::evaluate(Tree &T, DiagnosticEngine &Diags) {
+  const AttributeGrammar &AG = *Plan.AG;
+  TreeNode *Root = T.root();
+  if (!Root) {
+    Diags.error("cannot evaluate an empty tree");
+    return false;
+  }
+  T.resetAttributes();
+  ensureNodeStorage(AG, Root);
+  Root->PartitionId = Plan.RootPartition;
+
+  // Install the externally provided inherited attributes of the root.
+  PhylumId Start = AG.prod(Root->Prod).Lhs;
+  for (AttrId A : AG.phylum(Start).Attrs) {
+    const Attribute &At = AG.attr(A);
+    if (!At.isInherited())
+      continue;
+    bool Provided = false;
+    for (auto &[Attr, Val] : RootInh)
+      if (Attr == A) {
+        Root->AttrVals[At.IndexInOwner] = Val;
+        Root->AttrComputed[At.IndexInOwner] = 1;
+        Provided = true;
+      }
+    if (!Provided) {
+      Diags.error("inherited attribute '" + At.Name +
+                  "' of the start phylum was not provided");
+      return false;
+    }
+  }
+
+  const VisitSequence *Seq = Plan.find(Root->Prod, Root->PartitionId);
+  if (!Seq) {
+    Diags.error("no visit sequence for the root operator");
+    return false;
+  }
+  for (unsigned V = 1; V <= Seq->NumVisits; ++V)
+    if (!runVisit(Root, V, Diags))
+      return false;
+  return true;
+}

@@ -1,0 +1,77 @@
+//===- eval/Evaluator.h - Exhaustive visit-sequence interpreter -*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exhaustive evaluator: a visit-sequence interpreter over attributed
+/// trees (paper section 2.1.1). On VISIT i,j it fetches the applied
+/// production at the j-th son, searches BEGIN i in the corresponding
+/// sequence (for the partition the VISIT carries) and executes until the
+/// matching LEAVE. Attributes are tree-resident in this evaluator; the
+/// storage-optimized variant lives in src/storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_EVAL_EVALUATOR_H
+#define FNC2_EVAL_EVALUATOR_H
+
+#include "tree/Tree.h"
+#include "visitseq/VisitSequence.h"
+
+namespace fnc2 {
+
+/// Dynamic counters the benches report.
+struct EvalStats {
+  uint64_t RulesEvaluated = 0;
+  uint64_t VisitsPerformed = 0;
+  uint64_t InstructionsExecuted = 0;
+
+  void reset() { *this = EvalStats(); }
+};
+
+/// Interprets an EvaluationPlan over trees of its grammar.
+class Evaluator {
+public:
+  explicit Evaluator(const EvaluationPlan &Plan) : Plan(Plan) {}
+
+  /// Provides the value of an inherited attribute of the start phylum;
+  /// required before evaluate() when the start phylum has inherited
+  /// attributes.
+  void setRootInherited(AttrId A, Value V);
+
+  /// Evaluates every attribute instance of \p T. Returns false (with
+  /// diagnostics) on missing sequences, missing semantic functions or
+  /// unset root attributes. On success all node attribute slots are filled.
+  bool evaluate(Tree &T, DiagnosticEngine &Diags);
+
+  const EvalStats &stats() const { return Stats; }
+  void resetStats() { Stats.reset(); }
+
+private:
+  bool runVisit(TreeNode *N, unsigned VisitNo, DiagnosticEngine &Diags);
+  bool execEval(TreeNode *N, const std::vector<RuleId> &Rules,
+                DiagnosticEngine &Diags);
+
+  const EvaluationPlan &Plan;
+  EvalStats Stats;
+  std::vector<std::pair<AttrId, Value>> RootInh;
+};
+
+/// Makes sure a node's attribute/local slots exist (lazily sized from the
+/// grammar). Shared with the incremental evaluator.
+void ensureNodeStorage(const AttributeGrammar &AG, TreeNode *N);
+
+/// Reads an attribute value from tree-resident storage, asserting it has
+/// been computed. \p N is the node the occurrence's production applies to.
+const Value &readOcc(const AttributeGrammar &AG, TreeNode *N,
+                     const AttrOcc &O);
+
+/// Writes an attribute value into tree-resident storage.
+void writeOcc(const AttributeGrammar &AG, TreeNode *N, const AttrOcc &O,
+              Value V);
+
+} // namespace fnc2
+
+#endif // FNC2_EVAL_EVALUATOR_H

@@ -1,0 +1,103 @@
+//===- fnc2/Generator.cpp -------------------------------------------------===//
+
+#include "fnc2/Generator.h"
+
+#include "support/Timer.h"
+
+using namespace fnc2;
+
+GeneratedEvaluator fnc2::generateEvaluator(const AttributeGrammar &AG,
+                                           DiagnosticEngine &Diags,
+                                           GeneratorOptions Opts) {
+  GeneratedEvaluator G;
+  Timer Phase;
+
+  // Phase 1: SNC test; abort with the circularity trace on failure.
+  G.Classes.Snc = runSncTest(AG);
+  G.Times.Snc = Phase.seconds();
+  if (!G.Classes.Snc.IsSNC) {
+    G.Classes.Class = AgClass::NotSNC;
+    G.Trace = formatCircularityTrace(AG, G.Classes.Snc.Witness,
+                                     &G.Classes.Snc.IO, nullptr);
+    Diags.error("grammar '" + AG.Name +
+                "' is not strongly non-circular:\n" + G.Trace);
+    return G;
+  }
+  G.Classes.Class = AgClass::SNC;
+
+  // Phase 2: DNC test.
+  Phase.reset();
+  G.Classes.Dnc = runDncTest(AG, G.Classes.Snc);
+  G.Classes.DncRan = true;
+  G.Times.Dnc = Phase.seconds();
+  if (G.Classes.Dnc.IsDNC)
+    G.Classes.Class = AgClass::DNC;
+
+  // Phase 3: OAG(k) test, only when DNC succeeded (figure 3's cascade).
+  if (G.Classes.Dnc.IsDNC) {
+    Phase.reset();
+    G.Classes.Oag = runOagTest(AG, Opts.OagK);
+    G.Classes.OagRan = true;
+    G.Times.Oag = Phase.seconds();
+    if (G.Classes.Oag.IsOAG)
+      G.Classes.Class = AgClass::OAG;
+  }
+
+  // Phase 4: total orders — either directly from the OAG partitions or via
+  // the SNC-to-l-ordered transformation.
+  Phase.reset();
+  if (G.Classes.Class == AgClass::OAG) {
+    G.Transform = uniformInstances(AG, G.Classes.Oag.Partitions);
+  } else {
+    G.Transform = sncToLOrdered(AG, G.Classes.Snc, Opts.Reuse);
+  }
+  G.Times.Transform = Phase.seconds();
+  if (!G.Transform.Success) {
+    Diags.error("transformation failed for grammar '" + AG.Name +
+                "': " + G.Transform.FailureReason);
+    return G;
+  }
+
+  // Phase 5: visit sequences.
+  Phase.reset();
+  if (!buildVisitSequences(AG, G.Transform, G.Plan, Diags))
+    return G;
+  G.Times.VisitSeq = Phase.seconds();
+
+  // Phase 6: space optimization (memory map).
+  if (Opts.SpaceOptimize) {
+    Phase.reset();
+    G.Storage = analyzeStorage(AG, G.Plan);
+    G.Times.Storage = Phase.seconds();
+  }
+
+  G.Success = true;
+  return G;
+}
+
+Table1Row GeneratedEvaluator::statsRow(const AttributeGrammar &AG) const {
+  Table1Row Row;
+  Row.Name = AG.Name;
+  Row.Phyla = AG.numPhyla();
+  Row.Operators = AG.numProds();
+  Row.OccAttrs = AG.numAttrOccurrences();
+  Row.SemRules = AG.numRules();
+  Row.ClassName = Classes.className();
+  Row.PctVars = Storage.pctVariables();
+  Row.PctStacks = Storage.pctStacks();
+  Row.PctNonTemp = Storage.pctTree();
+  Row.NumVariables = Storage.NumVarGroups;
+  Row.NumStacks = Storage.NumStackGroups;
+  Row.PctElimOfCopy =
+      Storage.TotalCopyRules == 0
+          ? 0.0
+          : 100.0 * Storage.EliminatedCopyRules / Storage.TotalCopyRules;
+  Row.PctElimOfPoss =
+      Storage.EliminableCopyRules == 0
+          ? 0.0
+          : 100.0 * Storage.EliminatedCopyRules / Storage.EliminableCopyRules;
+  Row.AvgPartitions = Transform.AvgPartitionsPerPhylum;
+  Row.MaxPartitions = Transform.MaxPartitionsPerPhylum;
+  Row.TimeSec = Times.total();
+  return Row;
+}

@@ -1,0 +1,92 @@
+//===- fnc2/Generator.h - The evaluator generator ---------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluator generator (paper section 3.1 and figure 3), the engine of
+/// the system: from an abstract AG it runs the cascade
+///
+///   SNC test -> DNC test -> OAG(k) test -> (on OAG failure) SNC-to-l-
+///   ordered transformation -> visit-sequence generation -> space
+///   optimization
+///
+/// and produces an abstract evaluator: visit sequences, memory map and
+/// statistics. A failed SNC test aborts with a circularity trace. The DNC
+/// phase both enables incremental evaluation and, when OAG fails, seeds the
+/// transformation (cascading costs the same as running the OAG test from
+/// scratch because each phase extends the previous one's relations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_FNC2_GENERATOR_H
+#define FNC2_FNC2_GENERATOR_H
+
+#include "analysis/Classify.h"
+#include "ordered/Transform.h"
+#include "storage/Lifetime.h"
+#include "visitseq/VisitSequence.h"
+
+namespace fnc2 {
+
+struct GeneratorOptions {
+  /// Repair budget for the OAG test (paper default: OAG(0); AG 7 was found
+  /// OAG(1) by trial and error).
+  unsigned OagK = 0;
+  /// Partition-reuse discipline of the transformation.
+  ReuseMode Reuse = ReuseMode::LongInclusion;
+  /// Run the space optimizer (off reproduces the development mode that
+  /// skips memory mapping).
+  bool SpaceOptimize = true;
+};
+
+/// Wall-clock seconds per generator phase (figure 3's boxes).
+struct GeneratorPhaseTimes {
+  double Snc = 0, Dnc = 0, Oag = 0, Transform = 0, VisitSeq = 0, Storage = 0;
+  double total() const {
+    return Snc + Dnc + Oag + Transform + VisitSeq + Storage;
+  }
+};
+
+/// One row of the paper's Table 1.
+struct Table1Row {
+  std::string Name;
+  unsigned Phyla = 0;
+  unsigned Operators = 0;
+  unsigned OccAttrs = 0;
+  unsigned SemRules = 0;
+  std::string ClassName;
+  double PctVars = 0, PctStacks = 0, PctNonTemp = 0;
+  unsigned NumVariables = 0;
+  unsigned NumStacks = 0;
+  double PctElimOfCopy = 0; ///< eliminated / all copy rules.
+  double PctElimOfPoss = 0; ///< eliminated / theoretically eliminable.
+  double AvgPartitions = 0;
+  unsigned MaxPartitions = 0;
+  double TimeSec = 0;
+};
+
+/// The abstract evaluator plus everything the statistics report needs.
+struct GeneratedEvaluator {
+  bool Success = false;
+  ClassifyResult Classes;
+  TransformResult Transform;
+  EvaluationPlan Plan;
+  StorageAssignment Storage;
+  GeneratorPhaseTimes Times;
+  /// Circularity trace when the SNC test rejected the grammar.
+  std::string Trace;
+
+  Table1Row statsRow(const AttributeGrammar &AG) const;
+};
+
+/// Runs the full generator over \p AG (which must be finalized). Reports
+/// failures through \p Diags; on SNC failure the trace is also attached.
+GeneratedEvaluator generateEvaluator(const AttributeGrammar &AG,
+                                     DiagnosticEngine &Diags,
+                                     GeneratorOptions Opts = {});
+
+} // namespace fnc2
+
+#endif // FNC2_FNC2_GENERATOR_H

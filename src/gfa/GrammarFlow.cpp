@@ -1,0 +1,90 @@
+//===- gfa/GrammarFlow.cpp ------------------------------------------------===//
+
+#include "gfa/GrammarFlow.h"
+
+using namespace fnc2;
+
+PhylumRelation::PhylumRelation(const AttributeGrammar &AG) {
+  Rels.reserve(AG.numPhyla());
+  for (PhylumId P = 0; P != AG.numPhyla(); ++P) {
+    unsigned N = static_cast<unsigned>(AG.phylum(P).Attrs.size());
+    Rels.emplace_back(N, N);
+  }
+}
+
+unsigned PhylumRelation::totalPairs() const {
+  unsigned N = 0;
+  for (const BitMatrix &M : Rels)
+    N += M.count();
+  return N;
+}
+
+/// Pastes relation \p Rel of phylum \p Phy onto the occurrence block starting
+/// at \p Base (the attributes of one symbol occurrence, in owner order).
+static void pasteRelation(Digraph &G, const AttributeGrammar &AG, PhylumId Phy,
+                          OccId Base, const BitMatrix &Rel) {
+  unsigned N = static_cast<unsigned>(AG.phylum(Phy).Attrs.size());
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = 0; B != N; ++B)
+      if (Rel.test(A, B))
+        G.addEdge(Base + A, Base + B);
+}
+
+/// Returns the dense occurrence id of the first attribute of the symbol at
+/// position \p Pos within production \p P. Relies on the canonical layout
+/// built by AttributeGrammar::buildProductionInfo().
+static OccId symbolBase(const AttributeGrammar &AG, ProdId P, unsigned Pos) {
+  const Production &Pr = AG.prod(P);
+  OccId Base = 0;
+  if (Pos == 0)
+    return Base;
+  Base += static_cast<OccId>(AG.phylum(Pr.Lhs).Attrs.size());
+  for (unsigned C = 0; C + 1 < Pos; ++C)
+    Base += static_cast<OccId>(AG.phylum(Pr.Rhs[C]).Attrs.size());
+  return Base;
+}
+
+Digraph fnc2::buildAugmentedGraph(const AttributeGrammar &AG, ProdId P,
+                                  const AugmentOptions &Opts) {
+  const Production &Pr = AG.prod(P);
+  const ProductionInfo &PI = AG.info(P);
+  Digraph G(PI.numOccs());
+  G.unionEdges(PI.DepGraph);
+
+  if (Opts.Below)
+    for (unsigned C = 0; C != Pr.arity(); ++C)
+      pasteRelation(G, AG, Pr.Rhs[C], symbolBase(AG, P, C + 1),
+                    (*Opts.Below)[Pr.Rhs[C]]);
+  if (Opts.Above)
+    pasteRelation(G, AG, Pr.Lhs, symbolBase(AG, P, 0), (*Opts.Above)[Pr.Lhs]);
+  if (Opts.BelowOnLhs)
+    pasteRelation(G, AG, Pr.Lhs, symbolBase(AG, P, 0),
+                  (*Opts.BelowOnLhs)[Pr.Lhs]);
+  return G;
+}
+
+BitMatrix fnc2::closureOf(const Digraph &G) {
+  unsigned N = G.size();
+  BitMatrix M(N, N);
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned T : G.successors(I))
+      M.set(I, T);
+  M.transitiveClosure();
+  return M;
+}
+
+bool fnc2::projectOntoSymbol(const AttributeGrammar &AG, ProdId P,
+                             unsigned Pos, const BitMatrix &Closure,
+                             PhylumRelation &Into) {
+  const Production &Pr = AG.prod(P);
+  PhylumId Phy = Pos == 0 ? Pr.Lhs : Pr.Rhs[Pos - 1];
+  OccId Base = symbolBase(AG, P, Pos);
+  unsigned N = static_cast<unsigned>(AG.phylum(Phy).Attrs.size());
+  bool Changed = false;
+  BitMatrix &Rel = Into[Phy];
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = 0; B != N; ++B)
+      if (A != B && Closure.test(Base + A, Base + B))
+        Changed |= Rel.set(A, B);
+  return Changed;
+}

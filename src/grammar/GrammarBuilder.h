@@ -1,0 +1,98 @@
+//===- grammar/GrammarBuilder.h - Fluent AG construction --------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic construction of attribute grammars. Workload AGs and tests
+/// use this API directly; the molga front-end lowers parsed specifications
+/// through it as well.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_GRAMMAR_GRAMMARBUILDER_H
+#define FNC2_GRAMMAR_GRAMMARBUILDER_H
+
+#include "grammar/AttributeGrammar.h"
+
+namespace fnc2 {
+
+/// Options controlling GrammarBuilder::finalize().
+struct FinalizeOptions {
+  /// Run the automatic copy-rule pass before well-formedness checking
+  /// (paper section 2.4: "most copy rules can be automatically generated
+  /// and need not be specified explicitly").
+  bool AutoCopy = true;
+  /// Run the well-formedness check; disable only for deliberately broken
+  /// grammars in tests.
+  bool CheckWellFormed = true;
+};
+
+/// Builds an AttributeGrammar incrementally. All ids returned are valid for
+/// the grammar produced by finalize().
+class GrammarBuilder {
+public:
+  explicit GrammarBuilder(std::string Name);
+
+  /// Declares (or returns the existing) phylum named \p Name.
+  PhylumId phylum(const std::string &Name);
+
+  AttrId inherited(PhylumId P, const std::string &Name,
+                   const std::string &TypeName = "");
+  AttrId synthesized(PhylumId P, const std::string &Name,
+                     const std::string &TypeName = "");
+
+  /// Declares an operator \p Name : Lhs -> Rhs. \p StringLexeme marks the
+  /// lexeme as an identifier rather than an integer (for generators).
+  ProdId production(const std::string &Name, PhylumId Lhs,
+                    std::vector<PhylumId> Rhs, bool HasLexeme = false,
+                    bool StringLexeme = false);
+
+  /// Declares a production-local attribute; returns its occurrence.
+  AttrOcc local(ProdId P, const std::string &Name,
+                const std::string &TypeName = "");
+
+  /// Shorthand occurrence constructors.
+  static AttrOcc occ(unsigned Pos, AttrId A) {
+    return AttrOcc::onSymbol(Pos, A);
+  }
+
+  /// Adds a general semantic rule Target := FnName(Args...).
+  RuleId rule(ProdId P, AttrOcc Target, std::vector<AttrOcc> Args,
+              std::string FnName, SemanticFn Fn = nullptr);
+
+  /// Adds an explicit copy rule Target := Source.
+  RuleId copy(ProdId P, AttrOcc Target, AttrOcc Source);
+
+  /// Adds a constant rule Target := value.
+  RuleId constant(ProdId P, AttrOcc Target, Value V,
+                  std::string FnName = "const");
+
+  void setStart(PhylumId P) { AG.Start = P; }
+
+  /// Access to the grammar under construction (tests use this to create
+  /// deliberately malformed grammars).
+  AttributeGrammar &grammar() { return AG; }
+
+  /// Runs auto-copy (optional), builds occurrence tables and validates.
+  /// Returns the finished grammar; on errors the grammar is still returned
+  /// (its state is consistent) and \p Diags carries the problems.
+  AttributeGrammar finalize(DiagnosticEngine &Diags,
+                            FinalizeOptions Opts = {});
+
+private:
+  AttributeGrammar AG;
+};
+
+/// The automatic copy-rule pass: for every undefined output occurrence, if a
+/// unique same-named, same-typed source is available, synthesizes a copy
+/// rule. Inherited child occurrences copy from the LHS occurrence of the
+/// same attribute name; missing synthesized LHS occurrences copy from the
+/// unique child that offers a synthesized attribute of that name. Returns
+/// the number of rules generated.
+unsigned generateCopyRules(AttributeGrammar &AG);
+
+} // namespace fnc2
+
+#endif // FNC2_GRAMMAR_GRAMMARBUILDER_H

@@ -1,0 +1,215 @@
+//===- incremental/Incremental.cpp ----------------------------------------===//
+
+#include "incremental/Incremental.h"
+
+using namespace fnc2;
+
+bool IncrementalEvaluator::initial(Tree &T, DiagnosticEngine &Diags) {
+  Dirty.clear();
+  EditSites.clear();
+  Changed.clear();
+  return Exhaustive.evaluate(T, Diags);
+}
+
+std::unique_ptr<TreeNode>
+IncrementalEvaluator::replaceSubtree(Tree &T, TreeNode *Old,
+                                     std::unique_ptr<TreeNode> New) {
+  New->PartitionId = Old->PartitionId; // same phylum, same context protocol
+  TreeNode *NewRaw = New.get();
+  std::unique_ptr<TreeNode> Detached = T.replaceSubtree(Old, std::move(New));
+  EditSites.push_back(NewRaw);
+  for (const TreeNode *N = NewRaw; N; N = N->Parent)
+    Dirty.insert(N);
+  return Detached;
+}
+
+bool IncrementalEvaluator::isChanged(const TreeNode *Site,
+                                     unsigned Idx) const {
+  auto It = Changed.find(Site);
+  return It != Changed.end() && Idx < It->second.size() && It->second[Idx];
+}
+
+void IncrementalEvaluator::markChanged(const TreeNode *Site, unsigned Idx,
+                                       unsigned Count) {
+  auto &Marks = Changed[Site];
+  if (Marks.size() < Count)
+    Marks.assign(Count, 0);
+  Marks[Idx] = 1;
+}
+
+bool IncrementalEvaluator::argChanged(TreeNode *N, const AttrOcc &O) const {
+  const AttributeGrammar &AG = *Plan.AG;
+  if (O.isLexeme())
+    return false;
+  if (O.isLocal()) {
+    unsigned NumAttrs = static_cast<unsigned>(
+        AG.phylum(AG.prod(N->Prod).Lhs).Attrs.size());
+    return isChanged(N, NumAttrs + O.LocalIndex);
+  }
+  const TreeNode *Site = O.Pos == 0 ? N : N->child(O.Pos - 1);
+  return isChanged(Site, AG.attr(O.Attr).IndexInOwner);
+}
+
+bool IncrementalEvaluator::execEvalIncremental(
+    TreeNode *N, const std::vector<RuleId> &Rules, DiagnosticEngine &Diags) {
+  const AttributeGrammar &AG = *Plan.AG;
+  for (RuleId R : Rules) {
+    const SemanticRule &Rule = AG.rule(R);
+    const AttrOcc &T = Rule.Target;
+    TreeNode *Site = T.isLocal() || T.Pos == 0 ? N : N->child(T.Pos - 1);
+    ensureNodeStorage(AG, N);
+    ensureNodeStorage(AG, Site);
+
+    bool TargetComputed =
+        T.isLocal() ? (Site->LocalComputed.size() > T.LocalIndex &&
+                       Site->LocalComputed[T.LocalIndex])
+                    : Site->AttrComputed[AG.attr(T.Attr).IndexInOwner] != 0;
+
+    // Cutoff: nothing relevant changed and the old value exists.
+    bool AnyArgChanged = false;
+    for (const AttrOcc &Arg : Rule.Args)
+      AnyArgChanged |= argChanged(N, Arg);
+    if (TargetComputed && !AnyArgChanged) {
+      ++Stats.RulesSkipped;
+      continue;
+    }
+
+    if (!Rule.Fn) {
+      Diags.error("rule for '" + AG.occName(Rule.Prod, T) +
+                  "' has no semantic function");
+      return false;
+    }
+    std::vector<Value> Args;
+    Args.reserve(Rule.Args.size());
+    for (const AttrOcc &Arg : Rule.Args)
+      Args.push_back(readOcc(AG, N, Arg));
+    Value NewVal = Rule.Fn(Args);
+    ++Stats.RulesReevaluated;
+
+    unsigned NumAttrs = static_cast<unsigned>(
+        AG.phylum(AG.prod(Site->Prod).Lhs).Attrs.size());
+    unsigned Idx;
+    const Value *OldVal = nullptr;
+    if (T.isLocal()) {
+      Idx = NumAttrs + T.LocalIndex;
+      if (TargetComputed)
+        OldVal = &Site->LocalVals[T.LocalIndex];
+    } else {
+      Idx = AG.attr(T.Attr).IndexInOwner;
+      if (TargetComputed)
+        OldVal = &Site->AttrVals[Idx];
+    }
+    if (OldVal && valueEqual(*OldVal, NewVal)) {
+      ++Stats.ValuesUnchanged; // status: unchanged — propagation stops here
+      continue;
+    }
+    markChanged(Site, Idx,
+                NumAttrs + static_cast<unsigned>(
+                               AG.prod(Site->Prod).Locals.size()));
+    writeOcc(AG, N, T, std::move(NewVal));
+  }
+  return true;
+}
+
+bool IncrementalEvaluator::revisit(TreeNode *N, unsigned VisitNo,
+                                   DiagnosticEngine &Diags) {
+  const AttributeGrammar &AG = *Plan.AG;
+  ensureNodeStorage(AG, N);
+  const VisitSequence *Seq = Plan.find(N->Prod, N->PartitionId);
+  if (!Seq) {
+    Diags.error("no visit sequence for operator '" + AG.prod(N->Prod).Name +
+                "' during incremental update");
+    return false;
+  }
+  ++Stats.VisitsPerformed;
+
+  for (unsigned I = Seq->BeginIndex[VisitNo - 1] + 1;; ++I) {
+    const VisitInstr &Instr = Seq->Instrs[I];
+    switch (Instr.Kind) {
+    case VisitInstr::Op::Eval:
+      if (!execEvalIncremental(N, Instr.Rules, Diags))
+        return false;
+      break;
+    case VisitInstr::Op::Visit: {
+      TreeNode *Child = N->child(Instr.Child);
+      // Descend only when something can differ below: an edit in the
+      // subtree, a not-yet-evaluated (fresh) node, or a changed inherited
+      // attribute of the son.
+      bool MustDescend = subtreeDirty(Child) || Child->AttrComputed.empty();
+      if (!MustDescend)
+        for (AttrId A : AG.phylum(AG.prod(Child->Prod).Lhs).Attrs)
+          if (AG.attr(A).isInherited() &&
+              isChanged(Child, AG.attr(A).IndexInOwner)) {
+            MustDescend = true;
+            break;
+          }
+      if (MustDescend) {
+        Child->PartitionId = Instr.ChildPartition;
+        if (!revisit(Child, Instr.VisitNo, Diags))
+          return false;
+      } else {
+        ++Stats.VisitsSkipped;
+      }
+      break;
+    }
+    case VisitInstr::Op::Leave:
+      return true;
+    case VisitInstr::Op::Begin:
+      assert(false && "BEGIN inside a visit body");
+      return false;
+    }
+  }
+}
+
+bool IncrementalEvaluator::revisitAll(TreeNode *N, DiagnosticEngine &Diags) {
+  const VisitSequence *Seq = Plan.find(N->Prod, N->PartitionId);
+  if (!Seq) {
+    Diags.error("no visit sequence during incremental update");
+    return false;
+  }
+  for (unsigned V = 1; V <= Seq->NumVisits; ++V)
+    if (!revisit(N, V, Diags))
+      return false;
+  return true;
+}
+
+bool IncrementalEvaluator::update(Tree &T, DiagnosticEngine &Diags,
+                                  UpdateStrategy Strategy) {
+  const AttributeGrammar &AG = *Plan.AG;
+  Changed.clear();
+  bool Ok = true;
+
+  if (Strategy == UpdateStrategy::FromRoot || EditSites.empty()) {
+    Ok = revisitAll(T.root(), Diags);
+  } else {
+    // Start-anywhere: begin at each edit's father and climb while the
+    // node's synthesized results keep changing.
+    for (TreeNode *Edit : EditSites) {
+      TreeNode *N = Edit->Parent ? Edit->Parent : Edit;
+      while (true) {
+        if (!revisitAll(N, Diags)) {
+          Ok = false;
+          break;
+        }
+        // Did any synthesized attribute of N change? If not, the context
+        // cannot observe the edit: stop climbing.
+        bool SynChanged = false;
+        for (AttrId A : AG.phylum(AG.prod(N->Prod).Lhs).Attrs)
+          if (AG.attr(A).isSynthesized() &&
+              isChanged(N, AG.attr(A).IndexInOwner))
+            SynChanged = true;
+        if (!SynChanged || !N->Parent)
+          break;
+        N = N->Parent;
+      }
+      if (!Ok)
+        break;
+    }
+  }
+
+  if (Ok) {
+    Dirty.clear();
+    EditSites.clear();
+  }
+  return Ok;
+}

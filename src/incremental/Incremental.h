@@ -1,0 +1,118 @@
+//===- incremental/Incremental.h - Incremental evaluation -------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental attribute evaluator (paper section 2.1.2): an exhaustive
+/// visit-sequence evaluator extended with *semantic control* that limits
+/// reevaluation to affected instances. After one or more subtree
+/// replacements, update() re-runs visit sequences with two cutoffs:
+///
+///  * an EVAL whose arguments are all unchanged is skipped entirely;
+///  * a VISIT descends only into sons whose subtree contains an edit or
+///    whose inherited attributes changed;
+///
+/// and every recomputed value is compared against the stored one (the
+/// changed / unchanged / unknown status of [42]), so propagation stops as
+/// soon as old and new values agree. The comparison is pluggable — by
+/// default structural equality on the persistent value domain.
+///
+/// Two strategies are provided: FromRoot re-drives the root's visits with
+/// cutoffs; StartAnywhere begins at the edit's father and climbs only while
+/// synthesized results keep changing, which is what the DNC selectors
+/// (closed from below *and* above) license. Multiple subtree replacements
+/// accumulate before a single update().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_INCREMENTAL_INCREMENTAL_H
+#define FNC2_INCREMENTAL_INCREMENTAL_H
+
+#include "eval/Evaluator.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fnc2 {
+
+/// Counters demonstrating that work is proportional to the affected region.
+struct IncrementalStats {
+  uint64_t RulesReevaluated = 0;
+  uint64_t RulesSkipped = 0;   ///< EVAL cutoffs (arguments unchanged).
+  uint64_t VisitsPerformed = 0;
+  uint64_t VisitsSkipped = 0;  ///< VISIT cutoffs (clean son).
+  uint64_t ValuesUnchanged = 0; ///< Recomputed but equal: propagation cut.
+
+  void reset() { *this = IncrementalStats(); }
+};
+
+enum class UpdateStrategy : uint8_t { FromRoot, StartAnywhere };
+
+/// Incremental evaluator over tree-resident attributes.
+class IncrementalEvaluator {
+public:
+  explicit IncrementalEvaluator(const EvaluationPlan &Plan)
+      : Plan(Plan), Exhaustive(Plan) {}
+
+  void setRootInherited(AttrId A, Value V) {
+    Exhaustive.setRootInherited(A, std::move(V));
+  }
+
+  /// Overrides the equality used for change cutoff (paper: "the notion of
+  /// equality used in this comparison can be adapted to the problem at
+  /// hand").
+  void setEquality(std::function<bool(const Value &, const Value &)> Eq) {
+    Equal = std::move(Eq);
+  }
+
+  /// Full initial evaluation.
+  bool initial(Tree &T, DiagnosticEngine &Diags);
+
+  /// Replaces the subtree at \p Old by \p New, transferring the evaluation
+  /// protocol (partition) and recording the edit site; returns the detached
+  /// old subtree. Several edits may precede one update().
+  std::unique_ptr<TreeNode> replaceSubtree(Tree &T, TreeNode *Old,
+                                           std::unique_ptr<TreeNode> New);
+
+  /// Re-establishes consistency after the recorded edits.
+  bool update(Tree &T, DiagnosticEngine &Diags,
+              UpdateStrategy Strategy = UpdateStrategy::StartAnywhere);
+
+  const IncrementalStats &stats() const { return Stats; }
+  void resetStats() { Stats.reset(); }
+
+private:
+  bool revisitAll(TreeNode *N, DiagnosticEngine &Diags);
+  bool revisit(TreeNode *N, unsigned VisitNo, DiagnosticEngine &Diags);
+  bool execEvalIncremental(TreeNode *N, const std::vector<RuleId> &Rules,
+                           DiagnosticEngine &Diags);
+  bool isChanged(const TreeNode *Site, unsigned AttrIdx) const;
+  void markChanged(const TreeNode *Site, unsigned AttrIdx, unsigned Count);
+  bool argChanged(TreeNode *N, const AttrOcc &O) const;
+  bool subtreeDirty(const TreeNode *N) const {
+    return Dirty.count(N) != 0;
+  }
+  bool valueEqual(const Value &A, const Value &B) const {
+    return Equal ? Equal(A, B) : A.equals(B);
+  }
+
+  const EvaluationPlan &Plan;
+  Evaluator Exhaustive;
+  IncrementalStats Stats;
+  std::function<bool(const Value &, const Value &)> Equal;
+
+  /// Nodes whose subtree contains an edit (edit roots and their ancestors).
+  std::unordered_set<const TreeNode *> Dirty;
+  /// Edit roots recorded since the last update.
+  std::vector<TreeNode *> EditSites;
+  /// Attribute-changed marks for the current update (per node bitset);
+  /// locals are tracked after the attributes.
+  std::unordered_map<const TreeNode *, std::vector<uint8_t>> Changed;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_INCREMENTAL_INCREMENTAL_H

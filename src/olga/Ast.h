@@ -1,0 +1,214 @@
+//===- olga/Ast.h - molga abstract syntax -----------------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax of molga compilation units: modules (types, constants,
+/// functions) and grammars (phyla, attributes, operators, rule blocks).
+/// Expressions are shared between function bodies and semantic rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_OLGA_AST_H
+#define FNC2_OLGA_AST_H
+
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fnc2::olga {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+enum class TypeKind : uint8_t { Int, Bool, String, Map, List, Unit, Any,
+                                Error };
+
+/// Resolved molga type (after alias expansion). Any unifies with every type
+/// (used by the polymorphic builtins, e.g. the payload of insert/lookup).
+struct Type {
+  TypeKind Kind = TypeKind::Error;
+
+  bool operator==(const Type &O) const { return Kind == O.Kind; }
+  std::string str() const;
+
+  /// Unification with Any-absorption; Error absorbs everything silently so
+  /// one mistake does not cascade.
+  bool compatible(const Type &O) const {
+    return Kind == O.Kind || Kind == TypeKind::Any || O.Kind == TypeKind::Any ||
+           Kind == TypeKind::Error || O.Kind == TypeKind::Error;
+  }
+
+  static Type intTy() { return {TypeKind::Int}; }
+  static Type boolTy() { return {TypeKind::Bool}; }
+  static Type stringTy() { return {TypeKind::String}; }
+  static Type mapTy() { return {TypeKind::Map}; }
+  static Type listTy() { return {TypeKind::List}; }
+  static Type unitTy() { return {TypeKind::Unit}; }
+  static Type anyTy() { return {TypeKind::Any}; }
+  static Type errorTy() { return {TypeKind::Error}; }
+};
+
+/// A syntactic type reference (builtin name or alias), resolved by sema.
+struct TypeRef {
+  std::string Name;
+  SourceLoc Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  BoolLit,
+  StringLit,
+  ListLit,   ///< Children are the elements.
+  Name,      ///< Unqualified: local attribute, let binding, param, const.
+  AttrRef,   ///< Qualified: Base.Member (child or LHS attribute).
+  Lexeme,    ///< The operator's lexical value.
+  Unary,     ///< Op: "-" or "not".
+  Binary,    ///< Op: + - * / % ^ = <> < <= > >= and or.
+  If,        ///< Children: cond, then, else.
+  Let,       ///< Name binds Children[0] within Children[1].
+  Call,      ///< Name is the callee; Children are arguments.
+  Match,     ///< Children[0] is the scrutinee; arms in MatchArms.
+};
+
+struct MatchArm {
+  /// Pattern: an integer/bool/string literal, a binding name, or "_".
+  enum class PatKind : uint8_t { IntPat, BoolPat, StringPat, Bind, Wild };
+  PatKind Kind = PatKind::Wild;
+  int64_t IntValue = 0;
+  bool BoolValue = false;
+  std::string Text; ///< String pattern or binding name.
+  ExprPtr Body;
+  SourceLoc Loc;
+};
+
+struct Expr {
+  ExprKind Kind = ExprKind::IntLit;
+  SourceLoc Loc;
+  int64_t IntValue = 0;
+  bool BoolValue = false;
+  std::string Name;   ///< Name/base identifier/callee/operator spelling.
+  std::string Member; ///< AttrRef member.
+  std::vector<ExprPtr> Children;
+  std::vector<MatchArm> Arms;
+
+  /// Filled in by sema.
+  Type Ty = Type::errorTy();
+
+  /// Filled in by lowering: for AttrRef/Lexeme/local-attribute Name nodes
+  /// inside semantic rules, the index of the occurrence in the rule's
+  /// argument list; -1 elsewhere.
+  int ArgIndex = -1;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct FunDecl {
+  std::string Name;
+  std::vector<std::pair<std::string, TypeRef>> Params;
+  TypeRef ReturnType;
+  ExprPtr Body;
+  SourceLoc Loc;
+
+  /// Set by the optimizer's tail-recursion analysis.
+  bool TailRecursive = false;
+};
+
+struct ConstDecl {
+  std::string Name;
+  TypeRef DeclType;
+  ExprPtr Value;
+  SourceLoc Loc;
+};
+
+struct TypeAlias {
+  std::string Name;
+  TypeRef Aliased;
+  SourceLoc Loc;
+};
+
+struct ModuleDecl {
+  std::string Name;
+  std::vector<std::string> Imports;
+  std::vector<TypeAlias> Types;
+  std::vector<ConstDecl> Consts;
+  std::vector<FunDecl> Funs;
+  SourceLoc Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Grammar declarations
+//===----------------------------------------------------------------------===//
+
+struct PhylumDecl {
+  std::string Name;
+  bool IsRoot = false;
+  SourceLoc Loc;
+};
+
+struct AttrDecl {
+  std::string Phylum;
+  bool Inherited = false;
+  std::string Name;
+  TypeRef DeclType;
+  SourceLoc Loc;
+};
+
+struct OperatorDecl {
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Children; ///< (var, phylum)
+  std::string LhsPhylum;
+  bool HasLexeme = false;
+  TypeRef LexemeType; ///< int or string.
+  SourceLoc Loc;
+};
+
+struct RuleStmt {
+  /// Target: Base.Attr or a local name (Base empty).
+  std::string Base;
+  std::string Attr;
+  bool IsLocalDecl = false;
+  TypeRef LocalType; ///< For local declarations.
+  ExprPtr Value;
+  SourceLoc Loc;
+};
+
+struct RuleBlock {
+  std::string Operator;
+  std::vector<RuleStmt> Stmts;
+  SourceLoc Loc;
+};
+
+struct GrammarDecl {
+  std::string Name;
+  std::vector<std::string> Imports;
+  std::vector<PhylumDecl> Phyla;
+  std::vector<AttrDecl> Attrs;
+  std::vector<OperatorDecl> Operators;
+  std::vector<RuleBlock> Rules;
+  SourceLoc Loc;
+};
+
+/// One parsed compilation unit: any mix of modules and grammars.
+struct CompilationUnit {
+  std::vector<ModuleDecl> Modules;
+  std::vector<GrammarDecl> Grammars;
+};
+
+} // namespace fnc2::olga
+
+#endif // FNC2_OLGA_AST_H

@@ -1,0 +1,37 @@
+//===- olga/Driver.cpp ----------------------------------------------------===//
+
+#include "olga/Driver.h"
+
+#include "olga/Parser.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace fnc2;
+using namespace fnc2::olga;
+
+CompileResult olga::compileMolga(const std::string &Source,
+                                 DiagnosticEngine &Diags, bool Optimize) {
+  CompileResult R;
+  R.Lines = static_cast<unsigned>(
+      std::count(Source.begin(), Source.end(), '\n') + 1);
+
+  Timer Phase;
+  CompilationUnit Unit = parseUnit(Source, Diags);
+  R.Phases.InputSec = Phase.seconds();
+  if (Diags.hasErrors())
+    return R;
+
+  Phase.reset();
+  R.Prog = checkUnit(std::move(Unit), Diags);
+  if (Diags.hasErrors()) {
+    R.Phases.TypingSec = Phase.seconds();
+    return R;
+  }
+  if (Optimize)
+    R.Optimizer = optimizeProgram(*R.Prog);
+  R.Grammars = lowerProgram(R.Prog, Diags);
+  R.Phases.TypingSec = Phase.seconds();
+  R.Success = !Diags.hasErrors();
+  return R;
+}

@@ -1,0 +1,53 @@
+//===- olga/Driver.h - molga front-end driver -------------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The molga front-end pipeline: input (scan, parse), typing (checking +
+/// abstract-AG construction), optimization. Phase timings follow the
+/// columns of the paper's Tables 2 and 3 ("input", "typing"); translation
+/// to C is a separate component (src/codegen).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_OLGA_DRIVER_H
+#define FNC2_OLGA_DRIVER_H
+
+#include "olga/Lower.h"
+#include "olga/Optimizer.h"
+
+namespace fnc2::olga {
+
+/// Per-phase wall-clock seconds, Tables 2/3 style.
+struct CompilePhases {
+  double InputSec = 0;  ///< Scanning, parsing, tree construction.
+  double TypingSec = 0; ///< Type/well-definedness check + abstract AG.
+};
+
+struct CompileResult {
+  bool Success = false;
+  std::shared_ptr<Program> Prog;
+  std::vector<LoweredGrammar> Grammars;
+  OptimizerStats Optimizer;
+  CompilePhases Phases;
+  unsigned Lines = 0;
+
+  /// Grammar lookup by name; nullptr when absent.
+  const LoweredGrammar *grammar(const std::string &Name) const {
+    for (const LoweredGrammar &G : Grammars)
+      if (G.AG.Name == Name)
+        return &G;
+    return nullptr;
+  }
+};
+
+/// Runs the full front-end over one source text. \p Optimize controls the
+/// common optimizer pass between checking and lowering.
+CompileResult compileMolga(const std::string &Source, DiagnosticEngine &Diags,
+                           bool Optimize = true);
+
+} // namespace fnc2::olga
+
+#endif // FNC2_OLGA_DRIVER_H

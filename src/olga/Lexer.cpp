@@ -1,0 +1,234 @@
+//===- olga/Lexer.cpp -----------------------------------------------------===//
+
+#include "olga/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace fnc2;
+using namespace fnc2::olga;
+
+static const std::map<std::string, TokKind> &keywordTable() {
+  static const std::map<std::string, TokKind> Table = {
+      {"module", TokKind::KwModule},     {"end", TokKind::KwEnd},
+      {"import", TokKind::KwImport},     {"type", TokKind::KwType},
+      {"fun", TokKind::KwFun},           {"const", TokKind::KwConst},
+      {"grammar", TokKind::KwGrammar},   {"phylum", TokKind::KwPhylum},
+      {"root", TokKind::KwRoot},         {"attr", TokKind::KwAttr},
+      {"inh", TokKind::KwInh},           {"syn", TokKind::KwSyn},
+      {"operator", TokKind::KwOperator}, {"lexeme", TokKind::KwLexeme},
+      {"rules", TokKind::KwRules},       {"for", TokKind::KwFor},
+      {"local", TokKind::KwLocal},       {"if", TokKind::KwIf},
+      {"then", TokKind::KwThen},         {"else", TokKind::KwElse},
+      {"let", TokKind::KwLet},           {"in", TokKind::KwIn},
+      {"match", TokKind::KwMatch},       {"with", TokKind::KwWith},
+      {"true", TokKind::KwTrue},         {"false", TokKind::KwFalse},
+      {"and", TokKind::KwAnd},           {"or", TokKind::KwOr},
+      {"not", TokKind::KwNot},
+  };
+  return Table;
+}
+
+std::vector<Token> olga::tokenize(const std::string &Source,
+                                  DiagnosticEngine &Diags) {
+  std::vector<Token> Out;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+
+  auto advance = [&]() {
+    if (Pos < Source.size() && Source[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  };
+  auto peek = [&](size_t Ahead = 0) -> char {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  };
+  auto emit = [&](TokKind Kind, SourceLoc Loc, std::string Text = "",
+                  int64_t IntValue = 0) {
+    Out.push_back(Token{Kind, std::move(Text), IntValue, Loc});
+  };
+
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    // Comments: "--" to end of line.
+    if (C == '-' && peek(1) == '-') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    SourceLoc Loc{Line, Col};
+    if (std::isalpha(static_cast<unsigned char>(C))) {
+      std::string Word;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        Word += peek();
+        advance();
+      }
+      auto It = keywordTable().find(Word);
+      if (It != keywordTable().end())
+        emit(It->second, Loc, Word);
+      else
+        emit(TokKind::Ident, Loc, Word);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t V = 0;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        V = V * 10 + (peek() - '0');
+        advance();
+      }
+      emit(TokKind::IntLit, Loc, "", V);
+      continue;
+    }
+    if (C == '"') {
+      advance();
+      std::string S;
+      bool Closed = false;
+      while (Pos < Source.size()) {
+        char D = peek();
+        if (D == '"') {
+          advance();
+          Closed = true;
+          break;
+        }
+        if (D == '\\') {
+          advance();
+          char E = peek();
+          S += E == 'n' ? '\n' : E == 't' ? '\t' : E;
+          advance();
+          continue;
+        }
+        S += D;
+        advance();
+      }
+      if (!Closed)
+        Diags.error("unterminated string literal", Loc);
+      emit(TokKind::StringLit, Loc, std::move(S));
+      continue;
+    }
+    auto two = [&](char Second, TokKind Twice, TokKind Once) {
+      advance();
+      if (peek() == Second) {
+        advance();
+        emit(Twice, Loc);
+      } else {
+        emit(Once, Loc);
+      }
+    };
+    switch (C) {
+    case '(': advance(); emit(TokKind::LParen, Loc); break;
+    case ')': advance(); emit(TokKind::RParen, Loc); break;
+    case '[': advance(); emit(TokKind::LBracket, Loc); break;
+    case ']': advance(); emit(TokKind::RBracket, Loc); break;
+    case ',': advance(); emit(TokKind::Comma, Loc); break;
+    case '.': advance(); emit(TokKind::Dot, Loc); break;
+    case '|': advance(); emit(TokKind::Pipe, Loc); break;
+    case '+': advance(); emit(TokKind::Plus, Loc); break;
+    case '*': advance(); emit(TokKind::Star, Loc); break;
+    case '/': advance(); emit(TokKind::Slash, Loc); break;
+    case '%': advance(); emit(TokKind::Percent, Loc); break;
+    case '^': advance(); emit(TokKind::Caret, Loc); break;
+    case '=': advance(); emit(TokKind::Equal, Loc); break;
+    case '_': advance(); emit(TokKind::Underscore, Loc); break;
+    case ':': two('=', TokKind::Assign, TokKind::Colon); break;
+    case '>': two('=', TokKind::GreaterEq, TokKind::Greater); break;
+    case '<':
+      advance();
+      if (peek() == '=') {
+        advance();
+        emit(TokKind::LessEq, Loc);
+      } else if (peek() == '>') {
+        advance();
+        emit(TokKind::NotEqual, Loc);
+      } else {
+        emit(TokKind::Less, Loc);
+      }
+      break;
+    case '-':
+      advance();
+      if (peek() == '>') {
+        advance();
+        emit(TokKind::Arrow, Loc);
+      } else {
+        emit(TokKind::Minus, Loc);
+      }
+      break;
+    default:
+      Diags.error(std::string("unexpected character '") + C + "'", Loc);
+      advance();
+      break;
+    }
+  }
+  Out.push_back(Token{TokKind::Eof, "", 0, SourceLoc{Line, Col}});
+  return Out;
+}
+
+std::string olga::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof: return "end of input";
+  case TokKind::Ident: return "identifier";
+  case TokKind::IntLit: return "integer literal";
+  case TokKind::StringLit: return "string literal";
+  case TokKind::KwModule: return "'module'";
+  case TokKind::KwEnd: return "'end'";
+  case TokKind::KwImport: return "'import'";
+  case TokKind::KwType: return "'type'";
+  case TokKind::KwFun: return "'fun'";
+  case TokKind::KwConst: return "'const'";
+  case TokKind::KwGrammar: return "'grammar'";
+  case TokKind::KwPhylum: return "'phylum'";
+  case TokKind::KwRoot: return "'root'";
+  case TokKind::KwAttr: return "'attr'";
+  case TokKind::KwInh: return "'inh'";
+  case TokKind::KwSyn: return "'syn'";
+  case TokKind::KwOperator: return "'operator'";
+  case TokKind::KwLexeme: return "'lexeme'";
+  case TokKind::KwRules: return "'rules'";
+  case TokKind::KwFor: return "'for'";
+  case TokKind::KwLocal: return "'local'";
+  case TokKind::KwIf: return "'if'";
+  case TokKind::KwThen: return "'then'";
+  case TokKind::KwElse: return "'else'";
+  case TokKind::KwLet: return "'let'";
+  case TokKind::KwIn: return "'in'";
+  case TokKind::KwMatch: return "'match'";
+  case TokKind::KwWith: return "'with'";
+  case TokKind::KwTrue: return "'true'";
+  case TokKind::KwFalse: return "'false'";
+  case TokKind::KwAnd: return "'and'";
+  case TokKind::KwOr: return "'or'";
+  case TokKind::KwNot: return "'not'";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBracket: return "'['";
+  case TokKind::RBracket: return "']'";
+  case TokKind::Comma: return "','";
+  case TokKind::Colon: return "':'";
+  case TokKind::Dot: return "'.'";
+  case TokKind::Pipe: return "'|'";
+  case TokKind::Arrow: return "'->'";
+  case TokKind::Assign: return "':='";
+  case TokKind::Plus: return "'+'";
+  case TokKind::Minus: return "'-'";
+  case TokKind::Star: return "'*'";
+  case TokKind::Slash: return "'/'";
+  case TokKind::Percent: return "'%'";
+  case TokKind::Caret: return "'^'";
+  case TokKind::Equal: return "'='";
+  case TokKind::NotEqual: return "'<>'";
+  case TokKind::Less: return "'<'";
+  case TokKind::LessEq: return "'<='";
+  case TokKind::Greater: return "'>'";
+  case TokKind::GreaterEq: return "'>='";
+  case TokKind::Underscore: return "'_'";
+  }
+  return "?";
+}

@@ -1,0 +1,104 @@
+//===- olga/Lexer.h - molga tokenizer ---------------------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for molga, our OLGA-style AG-description language (paper
+/// section 2.4): strongly typed, purely applicative, block-structured, with
+/// declaration/definition modules and grammars as compilation units.
+/// Comments run from "--" to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_OLGA_LEXER_H
+#define FNC2_OLGA_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fnc2::olga {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  StringLit,
+  // Keywords.
+  KwModule,
+  KwEnd,
+  KwImport,
+  KwType,
+  KwFun,
+  KwConst,
+  KwGrammar,
+  KwPhylum,
+  KwRoot,
+  KwAttr,
+  KwInh,
+  KwSyn,
+  KwOperator,
+  KwLexeme,
+  KwRules,
+  KwFor,
+  KwLocal,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwLet,
+  KwIn,
+  KwMatch,
+  KwWith,
+  KwTrue,
+  KwFalse,
+  KwAnd,
+  KwOr,
+  KwNot,
+  // Punctuation / operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Colon,
+  Dot,
+  Pipe,
+  Arrow,     // ->
+  Assign,    // :=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Caret,     // string concatenation
+  Equal,
+  NotEqual,  // <>
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Underscore,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   ///< Identifier or string contents.
+  int64_t IntValue = 0;
+  SourceLoc Loc;
+};
+
+/// Tokenizes \p Source; lexical errors are reported through \p Diags and
+/// yield an Eof-terminated partial stream.
+std::vector<Token> tokenize(const std::string &Source,
+                            DiagnosticEngine &Diags);
+
+/// Token spelling for diagnostics.
+std::string tokKindName(TokKind Kind);
+
+} // namespace fnc2::olga
+
+#endif // FNC2_OLGA_LEXER_H

@@ -1,0 +1,211 @@
+//===- olga/Optimizer.cpp -------------------------------------------------===//
+
+#include "olga/Optimizer.h"
+
+#include "olga/ExprEval.h"
+
+#include <algorithm>
+
+using namespace fnc2;
+using namespace fnc2::olga;
+
+static bool isLiteral(const Expr &E) {
+  return E.Kind == ExprKind::IntLit || E.Kind == ExprKind::BoolLit ||
+         E.Kind == ExprKind::StringLit;
+}
+
+static Value literalValue(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return Value::ofInt(E.IntValue);
+  case ExprKind::BoolLit:
+    return Value::ofBool(E.BoolValue);
+  case ExprKind::StringLit:
+    return Value::ofString(E.Name);
+  default:
+    return Value();
+  }
+}
+
+static void makeLiteral(Expr &E, const Value &V) {
+  E.Children.clear();
+  E.Arms.clear();
+  E.Member.clear();
+  E.ArgIndex = -1;
+  if (V.isInt()) {
+    E.Kind = ExprKind::IntLit;
+    E.IntValue = V.asInt();
+  } else if (V.isBool()) {
+    E.Kind = ExprKind::BoolLit;
+    E.BoolValue = V.asBool();
+  } else if (V.isString()) {
+    E.Kind = ExprKind::StringLit;
+    E.Name = V.asString();
+  }
+}
+
+bool olga::foldConstants(Expr &E, const Program &Prog, unsigned &Folded) {
+  for (ExprPtr &C : E.Children)
+    foldConstants(*C, Prog, Folded);
+  for (MatchArm &Arm : E.Arms)
+    foldConstants(*Arm.Body, Prog, Folded);
+
+  switch (E.Kind) {
+  case ExprKind::Unary:
+  case ExprKind::Binary: {
+    for (const ExprPtr &C : E.Children)
+      if (!isLiteral(*C))
+        return isLiteral(E);
+    // Evaluate the pure operator on literal operands; the throwaway
+    // diagnostics absorb division-by-zero (left unfolded).
+    DiagnosticEngine Scratch;
+    EvalContext Ctx;
+    Ctx.Prog = &Prog;
+    Value V = evalExpr(E, Ctx, Scratch);
+    if (Scratch.hasErrors() || V.isUnit())
+      return false;
+    makeLiteral(E, V);
+    ++Folded;
+    return true;
+  }
+  case ExprKind::If: {
+    if (E.Children[0]->Kind != ExprKind::BoolLit)
+      return false;
+    // Select the taken branch in place.
+    ExprPtr Taken = std::move(E.Children[E.Children[0]->BoolValue ? 1 : 2]);
+    E = std::move(*Taken);
+    ++Folded;
+    return isLiteral(E);
+  }
+  case ExprKind::Call: {
+    for (const ExprPtr &C : E.Children)
+      if (!isLiteral(*C))
+        return false;
+    std::vector<Value> Args;
+    for (const ExprPtr &C : E.Children)
+      Args.push_back(literalValue(*C));
+    Value Result;
+    if (!applyBuiltin(E.Name, Args, Result) || Result.isUnit())
+      return false;
+    makeLiteral(E, Result);
+    ++Folded;
+    return true;
+  }
+  default:
+    return isLiteral(E);
+  }
+}
+
+/// Sorts literal int/string arms ascending (catch-all arms stay at the end,
+/// in order) so dispatch can binary-search; duplicate literals keep their
+/// first occurrence, preserving semantics.
+static bool compileMatch(Expr &E) {
+  if (E.Kind != ExprKind::Match || E.Arms.size() < 3)
+    return false;
+  // Only literal arms (plus trailing catch-alls) are sortable.
+  size_t FirstCatchAll = E.Arms.size();
+  for (size_t I = 0; I != E.Arms.size(); ++I) {
+    bool CatchAll = E.Arms[I].Kind == MatchArm::PatKind::Bind ||
+                    E.Arms[I].Kind == MatchArm::PatKind::Wild;
+    if (CatchAll) {
+      FirstCatchAll = I;
+      break;
+    }
+  }
+  if (FirstCatchAll < 2)
+    return false;
+  auto Begin = E.Arms.begin();
+  auto End = E.Arms.begin() + static_cast<long>(FirstCatchAll);
+  bool AllInt = std::all_of(Begin, End, [](const MatchArm &A) {
+    return A.Kind == MatchArm::PatKind::IntPat;
+  });
+  bool AllString = std::all_of(Begin, End, [](const MatchArm &A) {
+    return A.Kind == MatchArm::PatKind::StringPat;
+  });
+  if (!AllInt && !AllString)
+    return false;
+  // Duplicates would change which arm fires after sorting: bail out.
+  for (auto I = Begin; I != End; ++I)
+    for (auto J = I + 1; J != End; ++J)
+      if ((AllInt && I->IntValue == J->IntValue) ||
+          (AllString && I->Text == J->Text))
+        return false;
+  std::stable_sort(Begin, End, [&](const MatchArm &A, const MatchArm &B) {
+    return AllInt ? A.IntValue < B.IntValue : A.Text < B.Text;
+  });
+  return true;
+}
+
+static void compileMatchesRec(Expr &E, unsigned &Compiled) {
+  if (compileMatch(E))
+    ++Compiled;
+  for (ExprPtr &C : E.Children)
+    compileMatchesRec(*C, Compiled);
+  for (MatchArm &Arm : E.Arms)
+    compileMatchesRec(*Arm.Body, Compiled);
+}
+
+/// Collects whether all self-calls of \p Fun within \p E are confined to
+/// tail position. \p Tail says whether E itself is in tail position.
+static void scanTailCalls(const Expr &E, const std::string &Fun, bool Tail,
+                          bool &SawSelfCall, bool &SawNonTail) {
+  switch (E.Kind) {
+  case ExprKind::Call:
+    if (E.Name == Fun) {
+      SawSelfCall = true;
+      if (!Tail)
+        SawNonTail = true;
+    }
+    for (const ExprPtr &C : E.Children)
+      scanTailCalls(*C, Fun, false, SawSelfCall, SawNonTail);
+    return;
+  case ExprKind::If:
+    scanTailCalls(*E.Children[0], Fun, false, SawSelfCall, SawNonTail);
+    scanTailCalls(*E.Children[1], Fun, Tail, SawSelfCall, SawNonTail);
+    scanTailCalls(*E.Children[2], Fun, Tail, SawSelfCall, SawNonTail);
+    return;
+  case ExprKind::Let:
+    scanTailCalls(*E.Children[0], Fun, false, SawSelfCall, SawNonTail);
+    scanTailCalls(*E.Children[1], Fun, Tail, SawSelfCall, SawNonTail);
+    return;
+  case ExprKind::Match:
+    scanTailCalls(*E.Children[0], Fun, false, SawSelfCall, SawNonTail);
+    for (const MatchArm &Arm : E.Arms)
+      scanTailCalls(*Arm.Body, Fun, Tail, SawSelfCall, SawNonTail);
+    return;
+  default:
+    for (const ExprPtr &C : E.Children)
+      scanTailCalls(*C, Fun, false, SawSelfCall, SawNonTail);
+    return;
+  }
+}
+
+bool olga::isTailRecursive(const FunDecl &F) {
+  bool SawSelfCall = false, SawNonTail = false;
+  scanTailCalls(*F.Body, F.Name, /*Tail=*/true, SawSelfCall, SawNonTail);
+  return SawSelfCall && !SawNonTail;
+}
+
+OptimizerStats olga::optimizeProgram(Program &Prog) {
+  OptimizerStats Stats;
+  auto runOnExpr = [&](Expr &E) {
+    foldConstants(E, Prog, Stats.ConstantsFolded);
+    compileMatchesRec(E, Stats.MatchesCompiled);
+  };
+
+  for (ModuleDecl &M : Prog.Unit.Modules) {
+    for (FunDecl &F : M.Funs) {
+      runOnExpr(*F.Body);
+      ++Stats.FunsAnalyzed;
+      F.TailRecursive = isTailRecursive(F);
+      Stats.TailRecursiveFuns += F.TailRecursive;
+    }
+    for (ConstDecl &C : M.Consts)
+      runOnExpr(*C.Value);
+  }
+  for (GrammarDecl &G : Prog.Unit.Grammars)
+    for (RuleBlock &B : G.Rules)
+      for (RuleStmt &S : B.Stmts)
+        runOnExpr(*S.Value);
+  return Stats;
+}

@@ -1,0 +1,42 @@
+//===- olga/Optimizer.h - molga optimizer -----------------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common optimizer that precedes the translators (paper section 3.2):
+/// constant folding, deterministic decision trees for the pattern-matching
+/// construct (literal match arms get sorted so dispatch can binary-search),
+/// and tail-recursion detection (workload AG 6's job: "the test for
+/// tail-recursive functions in an OLGA specification").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_OLGA_OPTIMIZER_H
+#define FNC2_OLGA_OPTIMIZER_H
+
+#include "olga/Sema.h"
+
+namespace fnc2::olga {
+
+struct OptimizerStats {
+  unsigned ConstantsFolded = 0;
+  unsigned MatchesCompiled = 0;  ///< Matches rewritten into decision trees.
+  unsigned FunsAnalyzed = 0;
+  unsigned TailRecursiveFuns = 0;
+};
+
+/// Folds constants in \p E in place; returns true when E became a literal.
+bool foldConstants(Expr &E, const Program &Prog, unsigned &Folded);
+
+/// True iff every self-call of \p F is in tail position and at least one
+/// exists.
+bool isTailRecursive(const FunDecl &F);
+
+/// Runs all passes over every function body and semantic rule.
+OptimizerStats optimizeProgram(Program &Prog);
+
+} // namespace fnc2::olga
+
+#endif // FNC2_OLGA_OPTIMIZER_H

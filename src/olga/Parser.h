@@ -1,0 +1,27 @@
+//===- olga/Parser.h - molga parser -----------------------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for molga compilation units. This is the
+/// "input" phase of Tables 2 and 3 together with the lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_OLGA_PARSER_H
+#define FNC2_OLGA_PARSER_H
+
+#include "olga/Ast.h"
+#include "olga/Lexer.h"
+
+namespace fnc2::olga {
+
+/// Parses \p Source into a compilation unit; errors go to \p Diags. The
+/// returned unit holds whatever parsed successfully.
+CompilationUnit parseUnit(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace fnc2::olga
+
+#endif // FNC2_OLGA_PARSER_H

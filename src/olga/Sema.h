@@ -1,0 +1,68 @@
+//===- olga/Sema.h - molga type checking ------------------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "typing" phase of Tables 2 and 3: strong type checking of modules
+/// and grammars (with local inference for lets and match bindings), import
+/// resolution, and the structural part of AG well-definedness (declared
+/// phyla/attributes/operators, rule targets are output occurrences). The
+/// dependency part of well-definedness — every output defined exactly once
+/// — is checked after lowering by the AG core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_OLGA_SEMA_H
+#define FNC2_OLGA_SEMA_H
+
+#include "olga/Ast.h"
+#include "value/Value.h"
+
+#include <map>
+#include <memory>
+
+namespace fnc2::olga {
+
+/// Signature of a builtin or user function.
+struct FunSig {
+  std::vector<Type> Params;
+  Type Result = Type::errorTy();
+  /// For polymorphic builtins: the result type is the type of this
+  /// parameter (e.g. lookup's default); -1 otherwise.
+  int ResultFromParam = -1;
+  const FunDecl *Decl = nullptr; ///< Null for builtins.
+  std::string Module;            ///< Defining module (empty for builtins).
+};
+
+/// The checked program: ASTs plus the symbol tables sema built. Lowered
+/// semantic functions keep a shared_ptr to this, so expression nodes stay
+/// alive as long as any generated evaluator does.
+struct Program {
+  CompilationUnit Unit;
+  /// All functions by name (builtins excluded).
+  std::map<std::string, FunSig> Funs;
+  /// Constant values, evaluated at check time.
+  std::map<std::string, std::pair<Type, Value>> Consts;
+  /// Type aliases, fully resolved.
+  std::map<std::string, Type> Aliases;
+  /// Per grammar: the transitively imported module names.
+  std::map<std::string, std::vector<std::string>> GrammarImports;
+};
+
+/// The builtin function table (shared with codegen).
+const std::map<std::string, FunSig> &builtinFunctions();
+
+/// Resolves a syntactic type reference against builtins and aliases.
+Type resolveType(const TypeRef &Ref, const std::map<std::string, Type> &Aliases,
+                 DiagnosticEngine &Diags);
+
+/// Type-checks \p Unit; returns the checked program (never null; inspect
+/// \p Diags for errors).
+std::shared_ptr<Program> checkUnit(CompilationUnit Unit,
+                                   DiagnosticEngine &Diags);
+
+} // namespace fnc2::olga
+
+#endif // FNC2_OLGA_SEMA_H

@@ -1,0 +1,139 @@
+//===- ordered/Partition.cpp ----------------------------------------------===//
+
+#include "ordered/Partition.h"
+
+#include <algorithm>
+
+using namespace fnc2;
+
+static AttrKind kindOfLocal(const AttributeGrammar &AG, PhylumId P,
+                            unsigned LocalIdx) {
+  return AG.attr(AG.phylum(P).Attrs[LocalIdx]).Kind;
+}
+
+TotallyOrderedPartition
+TotallyOrderedPartition::fromLinear(const AttributeGrammar &AG, PhylumId P,
+                                    const std::vector<unsigned> &Order) {
+  TotallyOrderedPartition Part;
+  for (unsigned A : Order) {
+    AttrKind K = kindOfLocal(AG, P, A);
+    if (Part.Blocks.empty() || Part.Blocks.back().Kind != K)
+      Part.Blocks.push_back(POBlock{K, {}});
+    Part.Blocks.back().Attrs.push_back(A);
+  }
+  for (POBlock &B : Part.Blocks)
+    std::sort(B.Attrs.begin(), B.Attrs.end());
+  return Part;
+}
+
+std::optional<TotallyOrderedPartition>
+TotallyOrderedPartition::fromRelation(const AttributeGrammar &AG, PhylumId P,
+                                      const BitMatrix &DS) {
+  unsigned N = static_cast<unsigned>(AG.phylum(P).Attrs.size());
+  std::vector<bool> Assigned(N, false);
+  unsigned NumAssigned = 0;
+
+  auto canPeel = [&](unsigned A) {
+    // A can be placed in the current last block when everything it precedes
+    // is already assigned.
+    for (unsigned B = 0; B != N; ++B)
+      if (!Assigned[B] && B != A && DS.test(A, B))
+        return false;
+    return true;
+  };
+
+  // Peel from the last block backwards, starting with synthesized.
+  std::vector<POBlock> Reversed;
+  AttrKind Want = AttrKind::Synthesized;
+  unsigned EmptyRounds = 0;
+  while (NumAssigned != N) {
+    POBlock Block;
+    Block.Kind = Want;
+    for (unsigned A = 0; A != N; ++A)
+      if (!Assigned[A] && kindOfLocal(AG, P, A) == Want && canPeel(A))
+        Block.Attrs.push_back(A);
+    if (Block.Attrs.empty()) {
+      if (++EmptyRounds == 2)
+        return std::nullopt; // neither kind can make progress: DS is cyclic
+    } else {
+      EmptyRounds = 0;
+      for (unsigned A : Block.Attrs) {
+        Assigned[A] = true;
+        ++NumAssigned;
+      }
+      Reversed.push_back(std::move(Block));
+    }
+    Want = Want == AttrKind::Synthesized ? AttrKind::Inherited
+                                         : AttrKind::Synthesized;
+  }
+
+  TotallyOrderedPartition Part;
+  for (auto It = Reversed.rbegin(); It != Reversed.rend(); ++It) {
+    if (!Part.Blocks.empty() && Part.Blocks.back().Kind == It->Kind) {
+      // Merge same-kind neighbours produced by empty alternation rounds.
+      auto &Dst = Part.Blocks.back().Attrs;
+      Dst.insert(Dst.end(), It->Attrs.begin(), It->Attrs.end());
+      std::sort(Dst.begin(), Dst.end());
+    } else {
+      Part.Blocks.push_back(*It);
+    }
+  }
+  return Part;
+}
+
+unsigned TotallyOrderedPartition::numVisits() const {
+  unsigned Syn = 0;
+  for (const POBlock &B : Blocks)
+    if (B.Kind == AttrKind::Synthesized)
+      ++Syn;
+  bool TrailingInh =
+      !Blocks.empty() && Blocks.back().Kind == AttrKind::Inherited;
+  unsigned V = Syn + (TrailingInh ? 1 : 0);
+  return V == 0 ? 1 : V;
+}
+
+unsigned TotallyOrderedPartition::visitOf(unsigned AttrLocalIdx) const {
+  unsigned Visit = 1;
+  for (const POBlock &B : Blocks) {
+    bool Contains = std::find(B.Attrs.begin(), B.Attrs.end(), AttrLocalIdx) !=
+                    B.Attrs.end();
+    if (Contains)
+      return Visit;
+    if (B.Kind == AttrKind::Synthesized)
+      ++Visit;
+  }
+  assert(false && "attribute not in partition");
+  return 1;
+}
+
+unsigned TotallyOrderedPartition::blockOf(unsigned AttrLocalIdx) const {
+  for (unsigned I = 0; I != Blocks.size(); ++I)
+    if (std::find(Blocks[I].Attrs.begin(), Blocks[I].Attrs.end(),
+                  AttrLocalIdx) != Blocks[I].Attrs.end())
+      return I;
+  assert(false && "attribute not in partition");
+  return 0;
+}
+
+void TotallyOrderedPartition::addOrderEdges(Digraph &G, OccId Base) const {
+  for (size_t I = 0; I + 1 < Blocks.size(); ++I)
+    for (unsigned A : Blocks[I].Attrs)
+      for (unsigned B : Blocks[I + 1].Attrs)
+        G.addEdge(Base + A, Base + B);
+}
+
+std::string TotallyOrderedPartition::str(const AttributeGrammar &AG,
+                                         PhylumId P) const {
+  std::string Out = "[";
+  for (size_t I = 0; I != Blocks.size(); ++I) {
+    if (I)
+      Out += " | ";
+    Out += Blocks[I].Kind == AttrKind::Inherited ? "inh:" : "syn:";
+    for (unsigned A : Blocks[I].Attrs) {
+      Out += ' ';
+      Out += AG.attr(AG.phylum(P).Attrs[A]).Name;
+    }
+  }
+  Out += "]";
+  return Out;
+}

@@ -1,0 +1,87 @@
+//===- ordered/Partition.h - Totally-ordered attribute partitions -*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Totally-ordered partitions of a phylum's attributes: the alternating
+/// inherited/synthesized blocks that define the visit protocol of a phylum
+/// (paper section 2.1.1). Kastens' OAG test computes one per phylum; the
+/// SNC-to-l-ordered transformation computes sets of them and tries to keep
+/// those sets small via long inclusion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_ORDERED_PARTITION_H
+#define FNC2_ORDERED_PARTITION_H
+
+#include "grammar/AttributeGrammar.h"
+#include "support/BitMatrix.h"
+#include "support/Digraph.h"
+
+#include <optional>
+
+namespace fnc2 {
+
+/// One block of a totally-ordered partition; attributes are identified by
+/// their local index within the owning phylum and kept sorted.
+struct POBlock {
+  AttrKind Kind = AttrKind::Inherited;
+  std::vector<unsigned> Attrs;
+
+  bool operator==(const POBlock &O) const {
+    return Kind == O.Kind && Attrs == O.Attrs;
+  }
+};
+
+/// A totally-ordered partition of the attributes of one phylum. Invariants:
+/// no empty blocks; adjacent blocks alternate kinds. Visit v consists of the
+/// inherited block (if any) immediately preceding the v-th synthesized block
+/// plus that synthesized block; a trailing inherited block forms a final
+/// visit that returns nothing.
+class TotallyOrderedPartition {
+public:
+  std::vector<POBlock> Blocks;
+
+  /// Builds a partition from a linear order of attribute local indices by
+  /// grouping maximal same-kind runs.
+  static TotallyOrderedPartition
+  fromLinear(const AttributeGrammar &AG, PhylumId P,
+             const std::vector<unsigned> &Order);
+
+  /// Builds a partition by peeling a dependency relation DS (entry (a, b)
+  /// meaning a before b) from the last block backwards, synthesized last.
+  /// Returns std::nullopt when DS is cyclic.
+  static std::optional<TotallyOrderedPartition>
+  fromRelation(const AttributeGrammar &AG, PhylumId P, const BitMatrix &DS);
+
+  bool operator==(const TotallyOrderedPartition &O) const {
+    return Blocks == O.Blocks;
+  }
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+
+  /// Number of visits this protocol requires (>= 1 even for attribute-less
+  /// phyla, which still get one structural visit).
+  unsigned numVisits() const;
+
+  /// 1-based visit number during which attribute \p AttrLocalIdx is made
+  /// available (inherited: passed down at BEGIN; synthesized: computed).
+  unsigned visitOf(unsigned AttrLocalIdx) const;
+
+  /// 0-based block index of an attribute; asserts if absent.
+  unsigned blockOf(unsigned AttrLocalIdx) const;
+
+  /// Adds the between-block order edges to \p G: every attribute of block i
+  /// precedes every attribute of block i+1 (transitively a total order of
+  /// blocks). \p Base is the occurrence id of the phylum's first attribute.
+  void addOrderEdges(Digraph &G, OccId Base) const;
+
+  /// Human-readable rendering, e.g. "[inh: env | syn: type | syn: code]".
+  std::string str(const AttributeGrammar &AG, PhylumId P) const;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_ORDERED_PARTITION_H

@@ -1,0 +1,319 @@
+//===- ordered/Transform.cpp ----------------------------------------------===//
+
+#include "ordered/Transform.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace fnc2;
+
+const TransformInstance *TransformResult::findInstance(ProdId P,
+                                                       unsigned LhsPart) const {
+  for (const TransformInstance &I : Instances[P])
+    if (I.LhsPart == LhsPart)
+      return &I;
+  return nullptr;
+}
+
+namespace {
+
+/// Shared helpers over one grammar + IO relations.
+class Transformer {
+public:
+  Transformer(const AttributeGrammar &AG, const SncResult &Snc, ReuseMode Mode)
+      : AG(AG), Snc(Snc), Mode(Mode) {}
+
+  /// Warm-start candidates tried (and registered on first use) before any
+  /// fresh partition is derived; this implements the paper's retroactive
+  /// replacement: re-running with the previous run's partitions, finest
+  /// first, lets a finer partition discovered late replace coarser ones in
+  /// the productions that generated them.
+  std::vector<std::vector<TotallyOrderedPartition>> WarmStart;
+
+  TransformResult run();
+
+private:
+  /// Occurrence id of the first attribute of the symbol at \p Pos, or
+  /// InvalidId when the symbol has no attributes.
+  OccId symbolBase(ProdId P, unsigned Pos) const {
+    const Production &Pr = AG.prod(P);
+    PhylumId Phy = Pos == 0 ? Pr.Lhs : Pr.Rhs[Pos - 1];
+    if (AG.phylum(Phy).Attrs.empty())
+      return InvalidId;
+    return AG.info(P).occId(
+        AttrOcc::onSymbol(Pos, AG.phylum(Phy).Attrs.front()));
+  }
+
+  /// Topological order preferring inherited attributes early and
+  /// synthesized ones late; this canonicalization keeps induced partitions
+  /// coarse and deterministic.
+  std::optional<std::vector<OccId>> linearize(ProdId P,
+                                              const Digraph &G) const {
+    const ProductionInfo &PI = AG.info(P);
+    auto Priority = [&](unsigned N) -> uint64_t {
+      const AttrOcc &O = PI.Occs[N];
+      if (!O.isOnSymbol())
+        return 1; // locals/lexeme: neutral
+      return AG.attr(O.Attr).isSynthesized() ? 2 : 0;
+    };
+    auto Order = G.topologicalOrder(Priority);
+    if (!Order)
+      return std::nullopt;
+    return std::vector<OccId>(Order->begin(), Order->end());
+  }
+
+  /// Extracts the induced partition of the symbol at \p Pos from a linear
+  /// occurrence order.
+  TotallyOrderedPartition inducedPartition(ProdId P, unsigned Pos,
+                                           const std::vector<OccId> &L) const {
+    const ProductionInfo &PI = AG.info(P);
+    const Production &Pr = AG.prod(P);
+    PhylumId Phy = Pos == 0 ? Pr.Lhs : Pr.Rhs[Pos - 1];
+    std::vector<unsigned> AttrOrder;
+    for (OccId O : L) {
+      const AttrOcc &Occ = PI.Occs[O];
+      if (Occ.isOnSymbol() && Occ.Pos == Pos)
+        AttrOrder.push_back(AG.attr(Occ.Attr).IndexInOwner);
+    }
+    return TotallyOrderedPartition::fromLinear(AG, Phy, AttrOrder);
+  }
+
+  /// Registers \p Part for phylum \p X (unless an equal one exists) and
+  /// enqueues the productions of X for the new partition. Returns its index.
+  unsigned registerPartition(PhylumId X, TotallyOrderedPartition Part) {
+    auto &Parts = Result.Partitions[X];
+    for (unsigned I = 0; I != Parts.size(); ++I)
+      if (Parts[I] == Part)
+        return I;
+    Parts.push_back(std::move(Part));
+    unsigned Idx = static_cast<unsigned>(Parts.size() - 1);
+    for (ProdId P : AG.phylum(X).Prods)
+      Work.push_back({P, Idx});
+    return Idx;
+  }
+
+  /// Processes one (production, LHS partition) pair; returns false on an
+  /// unexpected cycle (non-SNC input or internal inconsistency).
+  bool processPair(ProdId P, unsigned LhsPartIdx);
+
+  const AttributeGrammar &AG;
+  const SncResult &Snc;
+  ReuseMode Mode;
+  TransformResult Result;
+  std::deque<std::pair<ProdId, unsigned>> Work;
+};
+
+} // namespace
+
+bool Transformer::processPair(ProdId P, unsigned LhsPartIdx) {
+  if (Result.findInstance(P, LhsPartIdx))
+    return true;
+  const Production &Pr = AG.prod(P);
+  ++Result.Iterations;
+
+  // Base graph: DP(p) + IO on children + LHS partition order.
+  AugmentOptions Opts;
+  Opts.Below = &Snc.IO;
+  Digraph G = buildAugmentedGraph(AG, P, Opts);
+  if (OccId Base = symbolBase(P, 0); Base != InvalidId)
+    Result.Partitions[Pr.Lhs][LhsPartIdx].addOrderEdges(G, Base);
+  if (G.hasCycle()) {
+    Result.FailureReason = "augmented graph of operator '" + Pr.Name +
+                           "' became cyclic under the LHS partition";
+    return false;
+  }
+
+  TransformInstance Inst;
+  Inst.LhsPart = LhsPartIdx;
+  Inst.ChildPart.assign(Pr.arity(), InvalidId);
+
+  // Long inclusion: greedily bend the order to fit existing partitions,
+  // child by child, committing constraints as we go. Warm-start candidates
+  // from a previous run are tried after the already-registered ones and
+  // registered on first successful use.
+  if (Mode == ReuseMode::LongInclusion) {
+    for (unsigned C = 0; C != Pr.arity(); ++C) {
+      PhylumId Child = Pr.Rhs[C];
+      OccId Base = symbolBase(P, C + 1);
+      if (Base == InvalidId) {
+        // Attribute-less phylum: its single (empty) partition always fits.
+        Inst.ChildPart[C] = registerPartition(Child, TotallyOrderedPartition());
+        continue;
+      }
+      auto tryPartition = [&](const TotallyOrderedPartition &Part) {
+        Digraph Tentative = G;
+        Part.addOrderEdges(Tentative, Base);
+        if (Tentative.hasCycle())
+          return false;
+        G = std::move(Tentative);
+        return true;
+      };
+      for (unsigned I = 0;
+           I != Result.Partitions[Child].size() &&
+           Inst.ChildPart[C] == InvalidId;
+           ++I)
+        if (tryPartition(Result.Partitions[Child][I]))
+          Inst.ChildPart[C] = I;
+      if (Inst.ChildPart[C] == InvalidId && Child < WarmStart.size())
+        for (const TotallyOrderedPartition &Cand : WarmStart[Child])
+          if (tryPartition(Cand)) {
+            Inst.ChildPart[C] = registerPartition(Child, Cand);
+            break;
+          }
+    }
+  } else {
+    for (unsigned C = 0; C != Pr.arity(); ++C)
+      if (symbolBase(P, C + 1) == InvalidId)
+        Inst.ChildPart[C] =
+            registerPartition(Pr.Rhs[C], TotallyOrderedPartition());
+  }
+
+  // Linearize once with all committed constraints; derive partitions for
+  // the still-unresolved children from the induced orders.
+  auto L = linearize(P, G);
+  if (!L) {
+    Result.FailureReason =
+        "no linear order for operator '" + Pr.Name + "'";
+    return false;
+  }
+  for (unsigned C = 0; C != Pr.arity(); ++C) {
+    if (Inst.ChildPart[C] != InvalidId)
+      continue;
+    TotallyOrderedPartition Induced = inducedPartition(P, C + 1, *L);
+    Inst.ChildPart[C] = registerPartition(Pr.Rhs[C], std::move(Induced));
+  }
+  Inst.Linear = std::move(*L);
+  Result.Instances[P].push_back(std::move(Inst));
+  return true;
+}
+
+TransformResult Transformer::run() {
+  Result.Partitions.resize(AG.numPhyla());
+  Result.Instances.resize(AG.numProds());
+
+  // Seed: the start phylum's partition is a linear extension of IO(start)
+  // with inherited attributes pulled early.
+  PhylumId Start = AG.Start;
+  unsigned N = static_cast<unsigned>(AG.phylum(Start).Attrs.size());
+  Digraph StartG(N);
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = 0; B != N; ++B)
+      if (A != B && Snc.IO[Start].test(A, B))
+        StartG.addEdge(A, B);
+  auto Priority = [&](unsigned A) -> uint64_t {
+    return AG.attr(AG.phylum(Start).Attrs[A]).isSynthesized() ? 1 : 0;
+  };
+  auto StartOrder = StartG.topologicalOrder(Priority);
+  if (!StartOrder) {
+    Result.FailureReason = "IO relation of the start phylum is cyclic";
+    return std::move(Result);
+  }
+  Result.RootPartition = registerPartition(
+      Start, TotallyOrderedPartition::fromLinear(AG, Start, *StartOrder));
+
+  while (!Work.empty()) {
+    auto [P, Idx] = Work.front();
+    Work.pop_front();
+    if (!processPair(P, Idx))
+      return std::move(Result);
+  }
+
+  // Statistics.
+  unsigned Phyla = 0;
+  for (PhylumId X = 0; X != AG.numPhyla(); ++X) {
+    unsigned K = static_cast<unsigned>(Result.Partitions[X].size());
+    Result.TotalPartitions += K;
+    Result.MaxPartitionsPerPhylum =
+        std::max(Result.MaxPartitionsPerPhylum, K);
+    if (K != 0)
+      ++Phyla;
+  }
+  Result.AvgPartitionsPerPhylum =
+      Phyla == 0 ? 0.0 : double(Result.TotalPartitions) / Phyla;
+  for (const auto &Insts : Result.Instances)
+    Result.NumInstances += static_cast<unsigned>(Insts.size());
+  Result.Success = true;
+  return std::move(Result);
+}
+
+TransformResult fnc2::sncToLOrdered(const AttributeGrammar &AG,
+                                    const SncResult &Snc, ReuseMode Mode) {
+  assert(Snc.IsSNC && "transformation requires a strongly non-circular AG");
+  Transformer First(AG, Snc, Mode);
+  TransformResult Best = First.run();
+  if (Mode != ReuseMode::LongInclusion || !Best.Success)
+    return Best;
+
+  // Retroactive replacement (paper section 2.1.1): re-run with the previous
+  // run's partitions as warm-start candidates, finest (most blocks) first —
+  // a replacing partition must have at least as many sets as the replaced
+  // one — until the total partition count stops shrinking.
+  for (unsigned Round = 0; Round != 4; ++Round) {
+    Transformer Next(AG, Snc, Mode);
+    Next.WarmStart = Best.Partitions;
+    for (auto &Cands : Next.WarmStart)
+      std::stable_sort(Cands.begin(), Cands.end(),
+                       [](const TotallyOrderedPartition &A,
+                          const TotallyOrderedPartition &B) {
+                         return A.numBlocks() > B.numBlocks();
+                       });
+    TransformResult R = Next.run();
+    R.Iterations += Best.Iterations;
+    if (!R.Success || R.TotalPartitions >= Best.TotalPartitions)
+      break;
+    Best = std::move(R);
+  }
+  return Best;
+}
+
+TransformResult
+fnc2::uniformInstances(const AttributeGrammar &AG,
+                       const std::vector<TotallyOrderedPartition> &Parts) {
+  TransformResult R;
+  R.Partitions.resize(AG.numPhyla());
+  R.Instances.resize(AG.numProds());
+  for (PhylumId X = 0; X != AG.numPhyla(); ++X)
+    R.Partitions[X].push_back(Parts[X]);
+  R.RootPartition = 0;
+
+  for (ProdId P = 0; P != AG.numProds(); ++P) {
+    const Production &Pr = AG.prod(P);
+    const ProductionInfo &PI = AG.info(P);
+    Digraph G(PI.numOccs());
+    G.unionEdges(PI.DepGraph);
+    auto paste = [&](PhylumId Phy, unsigned Pos) {
+      if (AG.phylum(Phy).Attrs.empty())
+        return;
+      OccId Base =
+          PI.occId(AttrOcc::onSymbol(Pos, AG.phylum(Phy).Attrs.front()));
+      Parts[Phy].addOrderEdges(G, Base);
+    };
+    paste(Pr.Lhs, 0);
+    for (unsigned C = 0; C != Pr.arity(); ++C)
+      paste(Pr.Rhs[C], C + 1);
+
+    auto Priority = [&](unsigned Node) -> uint64_t {
+      const AttrOcc &O = PI.Occs[Node];
+      if (!O.isOnSymbol())
+        return 1;
+      return AG.attr(O.Attr).isSynthesized() ? 2 : 0;
+    };
+    auto Order = G.topologicalOrder(Priority);
+    if (!Order) {
+      R.FailureReason = "completed graph of operator '" + Pr.Name +
+                        "' is cyclic (not an ordered assignment)";
+      return R;
+    }
+    TransformInstance Inst;
+    Inst.LhsPart = 0;
+    Inst.ChildPart.assign(Pr.arity(), 0);
+    Inst.Linear.assign(Order->begin(), Order->end());
+    R.Instances[P].push_back(std::move(Inst));
+    ++R.NumInstances;
+  }
+  R.TotalPartitions = AG.numPhyla();
+  R.AvgPartitionsPerPhylum = 1.0;
+  R.MaxPartitionsPerPhylum = 1;
+  R.Success = true;
+  return R;
+}

@@ -1,0 +1,89 @@
+//===- ordered/Transform.h - SNC to l-ordered transformation ----*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SNC-to-l-ordered transformation (paper section 2.1.1, after
+/// Engelfriet & File [11] and Riis-Nielson [45]): a top-down fixpoint
+/// computing, for each phylum, a set of totally-ordered partitions of its
+/// attributes, and for each (production, LHS partition) pair the induced
+/// partitions of the RHS phyla plus a linear evaluation order from which a
+/// visit sequence can be generated. The transformed grammar is never built
+/// explicitly; VISIT instructions carry the partition to use on the visited
+/// node.
+///
+/// Two partition-reuse disciplines are provided:
+///  * Equality — the classical transformation: a newly induced partition is
+///    shared only with an identical existing one (can proliferate
+///    exponentially);
+///  * LongInclusion — the paper's contribution [40]: before deriving a fresh
+///    partition for a RHS occurrence, try to *bend the topological order* so
+///    that an existing partition of that phylum fits the local dependencies
+///    (and, greedily, the partitions already committed for the other RHS
+///    occurrences — the paper's polynomial-but-not-strictly-necessary
+///    condition). On practical grammars this collapses the partition count
+///    to about one per phylum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_ORDERED_TRANSFORM_H
+#define FNC2_ORDERED_TRANSFORM_H
+
+#include "analysis/Circularity.h"
+#include "ordered/Partition.h"
+
+namespace fnc2 {
+
+enum class ReuseMode : uint8_t { Equality, LongInclusion };
+
+/// One visit-sequence source: a production together with a choice of LHS
+/// partition, the committed RHS partitions and a compatible linear order of
+/// all occurrences.
+struct TransformInstance {
+  unsigned LhsPart = 0;
+  std::vector<unsigned> ChildPart;
+  std::vector<OccId> Linear;
+};
+
+/// Output of the transformation (also produced, trivially, from an OAG
+/// result so the visit-sequence generator has a single input format).
+struct TransformResult {
+  bool Success = false;
+  std::string FailureReason;
+
+  /// Partition sets per phylum; indices are the partition ids VISIT carries.
+  std::vector<std::vector<TotallyOrderedPartition>> Partitions;
+  /// Instances per production, one per explored LHS partition.
+  std::vector<std::vector<TransformInstance>> Instances;
+  /// Index (within Partitions[Start]) of the partition evaluation starts
+  /// from at the root.
+  unsigned RootPartition = 0;
+
+  // Statistics reported by Table 1 / Figure 1 benches.
+  unsigned TotalPartitions = 0;
+  double AvgPartitionsPerPhylum = 0.0;
+  unsigned MaxPartitionsPerPhylum = 0;
+  unsigned NumInstances = 0;
+  unsigned Iterations = 0;
+
+  /// Looks up the instance of \p P with LHS partition \p LhsPart; returns
+  /// nullptr when the pair was never explored.
+  const TransformInstance *findInstance(ProdId P, unsigned LhsPart) const;
+};
+
+/// Runs the transformation over a strongly non-circular grammar.
+TransformResult sncToLOrdered(const AttributeGrammar &AG, const SncResult &Snc,
+                              ReuseMode Mode = ReuseMode::LongInclusion);
+
+/// Wraps an OAG partition assignment (exactly one partition per phylum) in
+/// the TransformResult format: one instance per production, every partition
+/// index 0, linear orders taken from the completed production graphs.
+TransformResult
+uniformInstances(const AttributeGrammar &AG,
+                 const std::vector<TotallyOrderedPartition> &Parts);
+
+} // namespace fnc2
+
+#endif // FNC2_ORDERED_TRANSFORM_H

@@ -1,0 +1,109 @@
+//===- storage/Lifetime.h - Attribute lifetime analysis ---------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The space-management analysis (paper section 2.2): the statically-known
+/// total evaluation order of visit-sequence evaluators permits a fine static
+/// analysis of every attribute instance's lifetime, which decides where the
+/// instance lives:
+///
+///  * a single **global variable** — when no two instances of the attribute
+///    are ever live simultaneously;
+///  * a **global stack** — for *temporary* attributes (lifetime confined to
+///    one visit of the defining production), whose instances nest LIFO; the
+///    evaluator may access cells below the top at statically-determined
+///    depths and delays POPs to the end of the defining visit;
+///  * a **tree cell** — the last resort, for non-temporary attributes.
+///
+/// On top of the classification, variables and stacks are *grouped*; the
+/// grouping criterion is the number of copy rules a merge eliminates
+/// (storing source and target in the same cell makes the copy a no-op),
+/// subject to an interference check — storing two occurrences in the same
+/// variable is incorrect when both are live with different values. Optimal
+/// grouping is NP-complete; we use the paper's greedy copy-count heuristic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_STORAGE_LIFETIME_H
+#define FNC2_STORAGE_LIFETIME_H
+
+#include "visitseq/VisitSequence.h"
+
+namespace fnc2 {
+
+enum class StorageClass : uint8_t { Variable, Stack, TreeCell };
+
+/// Flat storage ids: phylum attributes keep their AttrId; production locals
+/// are appended after them.
+class StorageIdMap {
+public:
+  StorageIdMap() = default;
+  explicit StorageIdMap(const AttributeGrammar &AG);
+
+  unsigned numIds() const { return NumIds; }
+  unsigned idOfAttr(AttrId A) const { return A; }
+  unsigned idOfLocal(ProdId P, unsigned LocalIdx) const {
+    return LocalBase[P] + LocalIdx;
+  }
+  unsigned idOfOcc(const AttributeGrammar &AG, ProdId P,
+                   const AttrOcc &O) const;
+  bool isLocal(unsigned Id) const { return Id >= FirstLocal; }
+  /// Human-readable name of a storage id.
+  std::string name(const AttributeGrammar &AG, unsigned Id) const;
+
+private:
+  unsigned NumIds = 0;
+  unsigned FirstLocal = 0;
+  std::vector<unsigned> LocalBase;
+};
+
+/// One static lifetime interval of an attribute within a visit sequence.
+struct LifetimeInterval {
+  unsigned SeqIdx = 0;   ///< Index into EvaluationPlan::Seqs.
+  unsigned FlatId = 0;   ///< Storage id of the attribute.
+  unsigned DefPos = 0;   ///< Instruction index where the instance appears.
+  unsigned EndPos = 0;   ///< Instruction index of the last use.
+  RuleId DefRule = InvalidId; ///< Defining rule (InvalidId for syn returns).
+  bool CrossesVisit = false;  ///< Lifetime spans a LEAVE: non-temporary.
+};
+
+/// The complete storage decision for a grammar + plan.
+struct StorageAssignment {
+  StorageIdMap Ids;
+  std::vector<StorageClass> ClassOf; ///< Indexed by flat storage id.
+  std::vector<unsigned> GroupOf;     ///< Var/stack group id per flat id.
+  unsigned NumVarGroups = 0;
+  unsigned NumStackGroups = 0;
+
+  /// Per flat id, every static lifetime interval (diagnostics/benches).
+  std::vector<LifetimeInterval> Intervals;
+
+  /// Copy rules eliminated by grouping (their execution becomes cell
+  /// sharing / a no-op).
+  std::vector<bool> CopyEliminated; ///< Indexed by RuleId.
+
+  // Statistics for Table 1.
+  unsigned NumVariableAttrs = 0; ///< Attributes classed Variable.
+  unsigned NumStackAttrs = 0;    ///< Attributes classed Stack.
+  unsigned NumTreeAttrs = 0;     ///< Attributes classed TreeCell.
+  unsigned TotalCopyRules = 0;
+  unsigned EliminatedCopyRules = 0;
+  unsigned EliminableCopyRules = 0; ///< Theoretical upper bound.
+
+  double pctVariables() const;
+  double pctStacks() const;
+  double pctTree() const;
+
+  StorageClass classOfAttr(AttrId A) const { return ClassOf[A]; }
+};
+
+/// Runs the lifetime analysis and grouping over \p Plan.
+StorageAssignment analyzeStorage(const AttributeGrammar &AG,
+                                 const EvaluationPlan &Plan);
+
+} // namespace fnc2
+
+#endif // FNC2_STORAGE_LIFETIME_H

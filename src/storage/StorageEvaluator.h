@@ -1,0 +1,108 @@
+//===- storage/StorageEvaluator.h - Storage-aware interpreter ---*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A visit-sequence interpreter that executes under a StorageAssignment:
+/// variable-class attributes live in global variables, stack-class ones in
+/// global stacks (cells die at the LEAVE of the visit that created them —
+/// the paper's delayed POPs — and dead cells below a surviving one linger
+/// until the suffix clears), and only tree-class attributes occupy node
+/// slots. Copy rules whose endpoints share a cell are skipped (variables)
+/// or share the cell (stacks). The evaluator counts peak live cells so the
+/// benches can reproduce the paper's "factor of 4 to 8" storage reduction.
+///
+/// The simulation records each instance's cell index at its node; real
+/// FNC-2 computes below-top access depths statically, which this dynamic
+/// bookkeeping generalizes while keeping reads assert-checked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_STORAGE_STORAGEEVALUATOR_H
+#define FNC2_STORAGE_STORAGEEVALUATOR_H
+
+#include "storage/Lifetime.h"
+#include "tree/Tree.h"
+
+#include <unordered_map>
+
+namespace fnc2 {
+
+/// Dynamic storage counters.
+struct StorageStats {
+  uint64_t PeakLiveCells = 0;   ///< Max simultaneous var+stack+tree cells.
+  uint64_t TreeBaselineCells = 0; ///< Instances a tree-resident run stores.
+  uint64_t StackPushes = 0;
+  uint64_t VariableWrites = 0;
+  uint64_t TreeWrites = 0;
+  uint64_t CopiesSkipped = 0;
+  uint64_t RulesEvaluated = 0;
+
+  double reductionFactor() const {
+    return PeakLiveCells == 0
+               ? 0.0
+               : double(TreeBaselineCells) / double(PeakLiveCells);
+  }
+
+  void reset() { *this = StorageStats(); }
+};
+
+/// Interprets an EvaluationPlan under a StorageAssignment.
+class StorageEvaluator {
+public:
+  StorageEvaluator(const EvaluationPlan &Plan, const StorageAssignment &SA)
+      : Plan(Plan), SA(SA) {}
+
+  void setRootInherited(AttrId A, Value V);
+
+  /// When set, every attribute write is mirrored into the tree slots so
+  /// tests can compare against the reference evaluator.
+  void setMirrorToTree(bool On) { MirrorToTree = On; }
+
+  bool evaluate(Tree &T, DiagnosticEngine &Diags);
+
+  const StorageStats &stats() const { return Stats; }
+  void resetStats() { Stats.reset(); }
+
+private:
+  struct StackGroup {
+    std::vector<Value> Cells;
+    std::vector<uint8_t> Dead;
+  };
+  /// A cell yet to die at some LEAVE: stack group + index (or ~0u for the
+  /// degenerate case of tree/var storage, which has no death).
+  struct PendingDeath {
+    unsigned Group;
+    unsigned Index;
+  };
+
+  bool runVisit(TreeNode *N, unsigned VisitNo, DiagnosticEngine &Diags);
+  bool execRule(TreeNode *N, RuleId R, std::vector<PendingDeath> &Deaths,
+                DiagnosticEngine &Diags);
+  const Value *readOccStored(TreeNode *N, const AttrOcc &O);
+  void writeOccStored(TreeNode *N, const AttrOcc &O, Value V,
+                      std::vector<PendingDeath> &Deaths);
+  void noteLiveCells();
+  void shrinkDeadSuffix(StackGroup &G);
+
+  /// Per-node cell indices for stack-resident attributes and locals.
+  std::unordered_map<const TreeNode *, std::vector<int64_t>> AttrCell;
+  std::unordered_map<const TreeNode *, std::vector<int64_t>> LocalCell;
+
+  const EvaluationPlan &Plan;
+  const StorageAssignment &SA;
+  StorageStats Stats;
+  bool MirrorToTree = false;
+  std::vector<std::pair<AttrId, Value>> RootInh;
+  std::vector<Value> Vars;
+  std::vector<uint8_t> VarSet;
+  std::vector<StackGroup> Stacks;
+  uint64_t TreeCellsLive = 0;
+  uint64_t VarsLive = 0;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_STORAGE_STORAGEEVALUATOR_H

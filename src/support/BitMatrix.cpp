@@ -1,0 +1,32 @@
+//===- support/BitMatrix.cpp ----------------------------------------------===//
+
+#include "support/BitMatrix.h"
+
+#include <bit>
+
+using namespace fnc2;
+
+void BitMatrix::transitiveClosure() {
+  assert(NumRows == NumCols && "closure needs a square matrix");
+  // Warshall's algorithm with word-parallel row union: if (I, K) is set,
+  // row I absorbs row K.
+  for (unsigned K = 0; K != NumRows; ++K)
+    for (unsigned I = 0; I != NumRows; ++I)
+      if (test(I, K))
+        orRow(I, *this, K);
+}
+
+bool BitMatrix::hasReflexiveBit() const {
+  assert(NumRows == NumCols && "diagonal needs a square matrix");
+  for (unsigned I = 0; I != NumRows; ++I)
+    if (test(I, I))
+      return true;
+  return false;
+}
+
+unsigned BitMatrix::count() const {
+  unsigned N = 0;
+  for (uint64_t W : Words)
+    N += std::popcount(W);
+  return N;
+}

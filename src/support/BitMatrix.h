@@ -1,0 +1,120 @@
+//===- support/BitMatrix.h - Dense boolean matrix ---------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system
+// (Jourdan, Parigot, Julié, Durin, Le Bellec; PLDI 1990).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense rectangular bit matrix with word-parallel row operations, used to
+/// represent dependency relations between attributes (IO/OI graphs) and for
+/// Warshall-style transitive closure inside the grammar flow analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_SUPPORT_BITMATRIX_H
+#define FNC2_SUPPORT_BITMATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fnc2 {
+
+/// Dense R x C boolean matrix stored row-major in 64-bit words.
+class BitMatrix {
+public:
+  BitMatrix() = default;
+
+  /// Creates an all-zero matrix with \p Rows rows and \p Cols columns.
+  BitMatrix(unsigned Rows, unsigned Cols)
+      : NumRows(Rows), NumCols(Cols), WordsPerRow((Cols + 63) / 64),
+        Words(static_cast<size_t>(Rows) * WordsPerRow, 0) {}
+
+  unsigned rows() const { return NumRows; }
+  unsigned cols() const { return NumCols; }
+
+  bool test(unsigned R, unsigned C) const {
+    assert(R < NumRows && C < NumCols && "bit index out of range");
+    return (word(R, C / 64) >> (C % 64)) & 1;
+  }
+
+  /// Sets bit (R, C); returns true iff the bit was previously clear.
+  bool set(unsigned R, unsigned C) {
+    assert(R < NumRows && C < NumCols && "bit index out of range");
+    uint64_t &W = word(R, C / 64);
+    uint64_t Mask = uint64_t(1) << (C % 64);
+    bool WasClear = !(W & Mask);
+    W |= Mask;
+    return WasClear;
+  }
+
+  void reset(unsigned R, unsigned C) {
+    assert(R < NumRows && C < NumCols && "bit index out of range");
+    word(R, C / 64) &= ~(uint64_t(1) << (C % 64));
+  }
+
+  /// Ors row \p Src of \p Other into row \p Dst of this matrix; returns true
+  /// iff any bit changed. Both matrices must have the same column count.
+  bool orRow(unsigned Dst, const BitMatrix &Other, unsigned Src) {
+    assert(NumCols == Other.NumCols && "column count mismatch");
+    bool Changed = false;
+    for (unsigned W = 0; W != WordsPerRow; ++W) {
+      uint64_t Old = word(Dst, W);
+      uint64_t New = Old | Other.word(Src, W);
+      if (New != Old) {
+        word(Dst, W) = New;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  /// Ors \p Other into this matrix element-wise; returns true iff changed.
+  bool orInPlace(const BitMatrix &Other) {
+    assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
+           "shape mismatch");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t New = Words[I] | Other.Words[I];
+      if (New != Words[I]) {
+        Words[I] = New;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  /// Replaces this (square) matrix with its transitive closure.
+  void transitiveClosure();
+
+  /// Returns true if any diagonal bit of a square matrix is set, i.e. the
+  /// relation (after closure) contains a cycle.
+  bool hasReflexiveBit() const;
+
+  bool operator==(const BitMatrix &Other) const {
+    return NumRows == Other.NumRows && NumCols == Other.NumCols &&
+           Words == Other.Words;
+  }
+
+  /// Number of set bits in the whole matrix.
+  unsigned count() const;
+
+private:
+  uint64_t &word(unsigned R, unsigned W) {
+    return Words[static_cast<size_t>(R) * WordsPerRow + W];
+  }
+  const uint64_t &word(unsigned R, unsigned W) const {
+    return Words[static_cast<size_t>(R) * WordsPerRow + W];
+  }
+
+  unsigned NumRows = 0;
+  unsigned NumCols = 0;
+  unsigned WordsPerRow = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_SUPPORT_BITMATRIX_H

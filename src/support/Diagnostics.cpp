@@ -1,0 +1,35 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace fnc2;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+std::string Diagnostic::str() const {
+  const char *Tag = Severity == DiagSeverity::Error     ? "error"
+                    : Severity == DiagSeverity::Warning ? "warning"
+                                                        : "note";
+  std::string Out;
+  if (Loc.isValid()) {
+    Out += Loc.str();
+    Out += ": ";
+  }
+  Out += Tag;
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::dump() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===- support/Diagnostics.h - Error reporting ------------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection shared by the molga front-end, the AG well-formedness
+/// checks and the evaluator generator. Library code never throws: fallible
+/// entry points take a DiagnosticEngine and report through it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_SUPPORT_DIAGNOSTICS_H
+#define FNC2_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace fnc2 {
+
+/// A position in some source text; Line/Column are 1-based, 0 means unknown.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+enum class DiagSeverity : uint8_t { Note, Warning, Error };
+
+/// One reported problem.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Accumulates diagnostics; owned by the driver, passed by reference into
+/// every fallible analysis.
+class DiagnosticEngine {
+public:
+  void error(const std::string &Message, SourceLoc Loc = {}) {
+    Diags.push_back({DiagSeverity::Error, Loc, Message});
+    ++NumErrors;
+  }
+  void warning(const std::string &Message, SourceLoc Loc = {}) {
+    Diags.push_back({DiagSeverity::Warning, Loc, Message});
+  }
+  void note(const std::string &Message, SourceLoc Loc = {}) {
+    Diags.push_back({DiagSeverity::Note, Loc, Message});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Concatenates all diagnostics, one per line (handy in test failures).
+  std::string dump() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,133 @@
+//===- support/Digraph.cpp ------------------------------------------------===//
+
+#include "support/Digraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+using namespace fnc2;
+
+bool Digraph::addEdge(unsigned From, unsigned To) {
+  assert(From < size() && To < size() && "node index out of range");
+  auto &S = Succs[From];
+  if (std::find(S.begin(), S.end(), To) != S.end())
+    return false;
+  S.push_back(To);
+  Preds[To].push_back(From);
+  return true;
+}
+
+bool Digraph::hasEdge(unsigned From, unsigned To) const {
+  const auto &S = Succs[From];
+  return std::find(S.begin(), S.end(), To) != S.end();
+}
+
+unsigned Digraph::numEdges() const {
+  unsigned N = 0;
+  for (const auto &S : Succs)
+    N += static_cast<unsigned>(S.size());
+  return N;
+}
+
+void Digraph::unionEdges(const Digraph &Other) {
+  assert(size() == Other.size() && "node count mismatch");
+  for (unsigned N = 0, E = size(); N != E; ++N)
+    for (unsigned T : Other.Succs[N])
+      addEdge(N, T);
+}
+
+std::optional<std::vector<unsigned>> Digraph::topologicalOrder(
+    const std::function<uint64_t(unsigned)> &Priority) const {
+  unsigned N = size();
+  std::vector<unsigned> InDegree(N, 0);
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned T : Succs[I])
+      ++InDegree[T];
+
+  auto Prio = [&](unsigned Node) -> uint64_t {
+    return Priority ? Priority(Node) : Node;
+  };
+  // Min-heap on (priority, node) so equal priorities break by index and the
+  // order stays deterministic.
+  using Entry = std::pair<uint64_t, unsigned>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> Ready;
+  for (unsigned I = 0; I != N; ++I)
+    if (InDegree[I] == 0)
+      Ready.push({Prio(I), I});
+
+  std::vector<unsigned> Order;
+  Order.reserve(N);
+  while (!Ready.empty()) {
+    unsigned Node = Ready.top().second;
+    Ready.pop();
+    Order.push_back(Node);
+    for (unsigned T : Succs[Node])
+      if (--InDegree[T] == 0)
+        Ready.push({Prio(T), T});
+  }
+  if (Order.size() != N)
+    return std::nullopt;
+  return Order;
+}
+
+std::vector<unsigned> Digraph::findCycle() const {
+  enum Color : uint8_t { White, Grey, Black };
+  unsigned N = size();
+  std::vector<Color> Colors(N, White);
+  std::vector<unsigned> Parent(N, ~0u);
+
+  // Iterative DFS that records the grey path; the first back edge found
+  // yields a concrete cycle witness for diagnostics.
+  for (unsigned Root = 0; Root != N; ++Root) {
+    if (Colors[Root] != White)
+      continue;
+    std::vector<std::pair<unsigned, size_t>> Stack;
+    Stack.push_back({Root, 0});
+    Colors[Root] = Grey;
+    while (!Stack.empty()) {
+      auto &[Node, NextIdx] = Stack.back();
+      if (NextIdx < Succs[Node].size()) {
+        unsigned T = Succs[Node][NextIdx++];
+        if (Colors[T] == Grey) {
+          // Found a back edge Node -> T: reconstruct the grey path T..Node.
+          std::vector<unsigned> Cycle;
+          size_t Start = 0;
+          for (size_t I = 0; I != Stack.size(); ++I)
+            if (Stack[I].first == T)
+              Start = I;
+          for (size_t I = Start; I != Stack.size(); ++I)
+            Cycle.push_back(Stack[I].first);
+          return Cycle;
+        }
+        if (Colors[T] == White) {
+          Colors[T] = Grey;
+          Stack.push_back({T, 0});
+        }
+      } else {
+        Colors[Node] = Black;
+        Stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+bool Digraph::reaches(unsigned From, unsigned To) const {
+  std::vector<bool> Seen(size(), false);
+  std::vector<unsigned> Work = {From};
+  Seen[From] = true;
+  while (!Work.empty()) {
+    unsigned N = Work.back();
+    Work.pop_back();
+    for (unsigned T : Succs[N]) {
+      if (T == To)
+        return true;
+      if (!Seen[T]) {
+        Seen[T] = true;
+        Work.push_back(T);
+      }
+    }
+  }
+  return false;
+}

@@ -1,0 +1,82 @@
+//===- support/Digraph.h - Small dense directed graph -----------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A directed graph over dense node ids 0..N-1 with adjacency lists, used for
+/// production dependency graphs, augmented graphs during the SNC-to-l-ordered
+/// transformation and visit-sequence linearization. Provides topological
+/// sorting (with a priority tie-break hook) and cycle-witness extraction for
+/// the circularity trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_SUPPORT_DIGRAPH_H
+#define FNC2_SUPPORT_DIGRAPH_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace fnc2 {
+
+/// Directed graph over dense node indices with duplicate-free edge insertion.
+class Digraph {
+public:
+  Digraph() = default;
+  explicit Digraph(unsigned NumNodes) : Succs(NumNodes), Preds(NumNodes) {}
+
+  unsigned size() const { return static_cast<unsigned>(Succs.size()); }
+
+  /// Appends a fresh node and returns its index.
+  unsigned addNode() {
+    Succs.emplace_back();
+    Preds.emplace_back();
+    return size() - 1;
+  }
+
+  /// Adds edge From -> To if not already present; returns true if inserted.
+  bool addEdge(unsigned From, unsigned To);
+
+  bool hasEdge(unsigned From, unsigned To) const;
+
+  const std::vector<unsigned> &successors(unsigned N) const {
+    return Succs[N];
+  }
+  const std::vector<unsigned> &predecessors(unsigned N) const {
+    return Preds[N];
+  }
+
+  unsigned numEdges() const;
+
+  /// Merges all edges of \p Other (same node set) into this graph.
+  void unionEdges(const Digraph &Other);
+
+  /// Returns a topological order of all nodes, or std::nullopt if the graph
+  /// is cyclic. When several nodes are ready, the one minimizing \p Priority
+  /// is picked first; by default the smallest index wins, which keeps the
+  /// order deterministic.
+  std::optional<std::vector<unsigned>> topologicalOrder(
+      const std::function<uint64_t(unsigned)> &Priority = nullptr) const;
+
+  /// Returns true iff the graph contains a directed cycle.
+  bool hasCycle() const { return !topologicalOrder().has_value(); }
+
+  /// Returns the nodes of some directed cycle, in order (the edge from the
+  /// last node back to the first closes the cycle); empty if acyclic.
+  std::vector<unsigned> findCycle() const;
+
+  /// Returns true iff \p To is reachable from \p From along >= 1 edge.
+  bool reaches(unsigned From, unsigned To) const;
+
+private:
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_SUPPORT_DIGRAPH_H

@@ -1,0 +1,79 @@
+//===- support/TablePrinter.cpp -------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+using namespace fnc2;
+
+TablePrinter::TablePrinter(std::vector<std::string> Hdr)
+    : Header(std::move(Hdr)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  Rows.push_back(std::move(Row));
+}
+
+static bool looksNumeric(const std::string &S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (!std::isdigit(static_cast<unsigned char>(C)) && C != '.' && C != '-' &&
+        C != '%' && C != '+')
+      return false;
+  return true;
+}
+
+std::string TablePrinter::str() const {
+  size_t NumCols = Header.size();
+  std::vector<size_t> Widths(NumCols, 0);
+  for (size_t C = 0; C != NumCols; ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size() && C != NumCols; ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto emitRow = [&](const std::vector<std::string> &Row, std::string &Out) {
+    for (size_t C = 0; C != NumCols; ++C) {
+      const std::string Cell = C < Row.size() ? Row[C] : "";
+      size_t Pad = Widths[C] - Cell.size();
+      if (looksNumeric(Cell)) {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      } else {
+        Out += Cell;
+        Out.append(Pad, ' ');
+      }
+      if (C + 1 != NumCols)
+        Out += "  ";
+    }
+    // Trim trailing spaces for tidy output.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  std::string Out;
+  emitRow(Header, Out);
+  size_t RuleWidth = 0;
+  for (size_t C = 0; C != NumCols; ++C)
+    RuleWidth += Widths[C] + (C + 1 != NumCols ? 2 : 0);
+  Out.append(RuleWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    emitRow(Row, Out);
+  return Out;
+}
+
+std::string TablePrinter::num(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string TablePrinter::pct(double Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", Value);
+  return Buf;
+}

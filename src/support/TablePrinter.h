@@ -1,0 +1,46 @@
+//===- support/TablePrinter.h - Aligned text tables -------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats rows of strings into an aligned plain-text table. The benches use
+/// it to print the paper's Tables 1-4 with our measured values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_SUPPORT_TABLEPRINTER_H
+#define FNC2_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace fnc2 {
+
+/// Column-aligned table with a header row; render with str().
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends a data row; it may be shorter than the header (missing cells
+  /// render empty).
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table, header first, columns separated by two spaces, with
+  /// a dashed rule under the header. Numeric-looking cells right-align.
+  std::string str() const;
+
+  /// Helper: formats a double with \p Precision fractional digits.
+  static std::string num(double Value, int Precision = 2);
+  /// Helper: formats a percentage (0..100 scale) with one fractional digit.
+  static std::string pct(double Value);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,40 @@
+//===- support/Timer.h - Wall-clock stopwatch -------------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny steady-clock stopwatch used by the generator statistics (Table 1's
+/// "time" column) and the evaluation benches (Tables 2/3 phase timings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_SUPPORT_TIMER_H
+#define FNC2_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace fnc2 {
+
+/// Starts at construction; elapsed times are cumulative wall-clock seconds.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_SUPPORT_TIMER_H

@@ -1,0 +1,204 @@
+//===- tools/Companion.cpp ------------------------------------------------===//
+
+#include "tools/Companion.h"
+
+#include <algorithm>
+
+using namespace fnc2;
+
+//===----------------------------------------------------------------------===//
+// asx
+//===----------------------------------------------------------------------===//
+
+AsxReport fnc2::checkAbstractSyntax(const AttributeGrammar &AG,
+                                    DiagnosticEngine &Diags) {
+  AsxReport R;
+  R.Phyla = AG.numPhyla();
+  R.Operators = AG.numProds();
+  unsigned Before = Diags.errorCount();
+
+  std::vector<bool> HasOp(AG.numPhyla(), false);
+  for (const Production &P : AG.Prods) {
+    HasOp[P.Lhs] = true;
+    R.MaxArity = std::max(R.MaxArity, P.arity());
+    if (P.arity() == 0)
+      ++R.LeafOperators;
+  }
+  for (PhylumId X = 0; X != AG.numPhyla(); ++X)
+    if (!HasOp[X])
+      Diags.error("asx: phylum '" + AG.phylum(X).Name +
+                  "' has no operator (no finite tree exists)");
+
+  // Productivity: a phylum is productive when some operator's sons are all
+  // productive; fixpoint.
+  std::vector<bool> Productive(AG.numPhyla(), false);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Production &P : AG.Prods) {
+      if (Productive[P.Lhs])
+        continue;
+      bool Ok = true;
+      for (PhylumId C : P.Rhs)
+        Ok &= Productive[C];
+      if (Ok) {
+        Productive[P.Lhs] = true;
+        Changed = true;
+      }
+    }
+  }
+  for (PhylumId X = 0; X != AG.numPhyla(); ++X)
+    if (HasOp[X] && !Productive[X])
+      Diags.error("asx: phylum '" + AG.phylum(X).Name +
+                  "' is unproductive (every operator recurses)");
+
+  if (AG.Start != InvalidId) {
+    std::vector<bool> Reach(AG.numPhyla(), false);
+    std::vector<PhylumId> Work = {AG.Start};
+    Reach[AG.Start] = true;
+    while (!Work.empty()) {
+      PhylumId X = Work.back();
+      Work.pop_back();
+      for (ProdId P : AG.phylum(X).Prods)
+        for (PhylumId C : AG.prod(P).Rhs)
+          if (!Reach[C]) {
+            Reach[C] = true;
+            Work.push_back(C);
+          }
+    }
+    for (PhylumId X = 0; X != AG.numPhyla(); ++X)
+      if (!Reach[X])
+        Diags.warning("asx: phylum '" + AG.phylum(X).Name +
+                      "' is unreachable from the root phylum");
+  }
+
+  R.WellDefined = Diags.errorCount() == Before;
+  return R;
+}
+
+std::string fnc2::printAbstractSyntax(const AttributeGrammar &AG) {
+  std::string Out = "abstract syntax " + AG.Name + "\n";
+  for (PhylumId X = 0; X != AG.numPhyla(); ++X) {
+    Out += AG.phylum(X).Name;
+    Out += X == AG.Start ? " (root) ::=" : " ::=";
+    bool First = true;
+    for (ProdId P : AG.phylum(X).Prods) {
+      const Production &Pr = AG.prod(P);
+      Out += First ? " " : " | ";
+      First = false;
+      Out += Pr.Name;
+      if (Pr.arity() != 0 || Pr.HasLexeme) {
+        Out += "(";
+        for (unsigned C = 0; C != Pr.arity(); ++C) {
+          if (C)
+            Out += ", ";
+          Out += AG.phylum(Pr.Rhs[C]).Name;
+        }
+        if (Pr.HasLexeme)
+          Out += std::string(Pr.arity() ? ", " : "") +
+                 (Pr.StringLexeme ? "STRING" : "INT");
+        Out += ")";
+      }
+    }
+    Out += "\n";
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// ppat
+//===----------------------------------------------------------------------===//
+
+std::string Unparser::unparse(const TreeNode *N) const {
+  auto It = Templates.find(N->Prod);
+  if (It == Templates.end()) {
+    // Generic fallback: the tree-language-independent part.
+    const Production &Pr = AG->prod(N->Prod);
+    std::string Out = Pr.Name;
+    if (Pr.HasLexeme)
+      Out += "<" + (N->Lexeme.isString() ? N->Lexeme.asString()
+                                         : N->Lexeme.str()) + ">";
+    if (N->arity() != 0) {
+      Out += "(";
+      for (unsigned C = 0; C != N->arity(); ++C) {
+        if (C)
+          Out += ", ";
+        Out += unparse(N->child(C));
+      }
+      Out += ")";
+    }
+    return Out;
+  }
+  std::string Out;
+  for (const UnparsePiece &P : It->second) {
+    switch (P.K) {
+    case UnparsePiece::Kind::Text:
+      Out += P.Text;
+      break;
+    case UnparsePiece::Kind::Child:
+      if (P.Child < N->arity())
+        Out += unparse(N->child(P.Child));
+      break;
+    case UnparsePiece::Kind::Lexeme:
+      Out += N->Lexeme.isString() ? N->Lexeme.asString() : N->Lexeme.str();
+      break;
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// mkfnc2
+//===----------------------------------------------------------------------===//
+
+ModuleDepGraph fnc2::buildModuleDepGraph(const olga::CompilationUnit &Unit,
+                                         DiagnosticEngine &Diags) {
+  ModuleDepGraph G;
+  std::map<std::string, unsigned> Index;
+  auto addUnit = [&](const std::string &Name) {
+    if (Index.count(Name))
+      return;
+    Index[Name] = static_cast<unsigned>(G.Units.size());
+    G.Units.push_back(Name);
+  };
+  for (const olga::ModuleDecl &M : Unit.Modules)
+    addUnit(M.Name);
+  for (const olga::GrammarDecl &Gr : Unit.Grammars)
+    addUnit(Gr.Name);
+
+  auto addEdges = [&](const std::string &From,
+                      const std::vector<std::string> &Imports,
+                      SourceLoc Loc) {
+    for (const std::string &To : Imports) {
+      auto It = Index.find(To);
+      if (It == Index.end()) {
+        Diags.error("mkfnc2: '" + From + "' imports unknown unit '" + To +
+                        "'",
+                    Loc);
+        continue;
+      }
+      G.Edges.emplace_back(Index[From], It->second);
+    }
+  };
+  for (const olga::ModuleDecl &M : Unit.Modules)
+    addEdges(M.Name, M.Imports, M.Loc);
+  for (const olga::GrammarDecl &Gr : Unit.Grammars)
+    addEdges(Gr.Name, Gr.Imports, Gr.Loc);
+
+  // Topological order with dependencies first (edges point importer ->
+  // imported, so we order by reversed edges).
+  Digraph D(static_cast<unsigned>(G.Units.size()));
+  for (auto &[From, To] : G.Edges)
+    D.addEdge(To, From);
+  auto Order = D.topologicalOrder();
+  if (Order) {
+    for (unsigned U : *Order)
+      G.BuildOrder.push_back(G.Units[U]);
+  } else {
+    G.HasCycle = true;
+    for (unsigned U : D.findCycle())
+      G.Cycle.push_back(G.Units[U]);
+    Diags.error("mkfnc2: cyclic imports detected");
+  }
+  return G;
+}

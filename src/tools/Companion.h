@@ -1,0 +1,136 @@
+//===- tools/Companion.h - asx / ppat / mkfnc2 analogues --------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The companion processors of paper section 3.3:
+///
+///  * **asx** analyses attributed abstract syntax descriptions — here,
+///    well-definedness checking of a tree signature (phyla/operators
+///    without semantic rules) and a signature printer;
+///  * **ppat** generates unparsers for attributed abstract trees from
+///    per-operator templates; operators without a user template fall back
+///    to a generic tree-language-independent rendering (figure 4's split
+///    between the generated part and the reusable part);
+///  * **mkfnc2** automates application construction — here, the module
+///    dependency graph over a molga compilation unit with cycle detection
+///    and a topological build order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_TOOLS_COMPANION_H
+#define FNC2_TOOLS_COMPANION_H
+
+#include "olga/Ast.h"
+#include "tree/Tree.h"
+
+#include <map>
+
+namespace fnc2 {
+
+//===----------------------------------------------------------------------===//
+// asx
+//===----------------------------------------------------------------------===//
+
+/// Statistics of an attributed abstract syntax description.
+struct AsxReport {
+  bool WellDefined = false;
+  unsigned Phyla = 0;
+  unsigned Operators = 0;
+  unsigned LeafOperators = 0;
+  unsigned MaxArity = 0;
+};
+
+/// Checks the tree-signature part of \p AG (the asx job): every phylum
+/// productive, everything reachable, arities consistent. Rule-level
+/// well-definedness is the front-end's business and not re-checked here.
+AsxReport checkAbstractSyntax(const AttributeGrammar &AG,
+                              DiagnosticEngine &Diags);
+
+/// Renders the signature in asx-like notation.
+std::string printAbstractSyntax(const AttributeGrammar &AG);
+
+//===----------------------------------------------------------------------===//
+// ppat
+//===----------------------------------------------------------------------===//
+
+/// One piece of an unparse template.
+struct UnparsePiece {
+  enum class Kind : uint8_t { Text, Child, Lexeme };
+  Kind K = Kind::Text;
+  std::string Text;
+  unsigned Child = 0;
+
+  static UnparsePiece text(std::string S) {
+    UnparsePiece P;
+    P.K = Kind::Text;
+    P.Text = std::move(S);
+    return P;
+  }
+  static UnparsePiece child(unsigned C) {
+    UnparsePiece P;
+    P.K = Kind::Child;
+    P.Child = C;
+    return P;
+  }
+  static UnparsePiece lexeme() {
+    UnparsePiece P;
+    P.K = Kind::Lexeme;
+    return P;
+  }
+};
+
+/// An unparser generated from per-operator templates.
+class Unparser {
+public:
+  explicit Unparser(const AttributeGrammar &AG) : AG(&AG) {}
+
+  /// Installs the user template for one operator (the tree-language-
+  /// dependent part).
+  void setTemplate(ProdId P, std::vector<UnparsePiece> Pieces) {
+    Templates[P] = std::move(Pieces);
+  }
+
+  /// Renders a subtree; operators without a template use the generic
+  /// Name(child,...) fallback.
+  std::string unparse(const TreeNode *N) const;
+
+  /// How many operators have user templates vs. rely on the fallback.
+  unsigned numUserTemplates() const {
+    return static_cast<unsigned>(Templates.size());
+  }
+  unsigned numFallbackOperators() const {
+    return AG->numProds() - numUserTemplates();
+  }
+
+private:
+  const AttributeGrammar *AG;
+  std::map<ProdId, std::vector<UnparsePiece>> Templates;
+};
+
+//===----------------------------------------------------------------------===//
+// mkfnc2
+//===----------------------------------------------------------------------===//
+
+/// The module dependency graph of a compilation unit.
+struct ModuleDepGraph {
+  std::vector<std::string> Units; ///< Modules then grammars.
+  /// Edges importer -> imported, as indices into Units.
+  std::vector<std::pair<unsigned, unsigned>> Edges;
+  bool HasCycle = false;
+  /// Valid build order when acyclic (dependencies first).
+  std::vector<std::string> BuildOrder;
+  /// A cycle witness when cyclic.
+  std::vector<std::string> Cycle;
+};
+
+/// Builds the dependency graph of \p Unit (the mkfnc2 job). Unknown imports
+/// are reported through \p Diags.
+ModuleDepGraph buildModuleDepGraph(const olga::CompilationUnit &Unit,
+                                   DiagnosticEngine &Diags);
+
+} // namespace fnc2
+
+#endif // FNC2_TOOLS_COMPANION_H

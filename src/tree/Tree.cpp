@@ -1,0 +1,319 @@
+//===- tree/Tree.cpp ------------------------------------------------------===//
+
+#include "tree/Tree.h"
+
+#include <cctype>
+
+using namespace fnc2;
+
+void Tree::setRoot(std::unique_ptr<TreeNode> N) {
+  Root = std::move(N);
+  if (Root) {
+    Root->Parent = nullptr;
+    Root->IndexInParent = 0;
+  }
+}
+
+std::unique_ptr<TreeNode>
+Tree::make(ProdId P, std::vector<std::unique_ptr<TreeNode>> Children,
+           Value Lexeme) {
+  const Production &Pr = AG->prod(P);
+  assert(Children.size() == Pr.Rhs.size() &&
+         "child count does not match production arity");
+  auto N = std::make_unique<TreeNode>();
+  N->Prod = P;
+  N->Lexeme = std::move(Lexeme);
+  for (unsigned I = 0; I != Children.size(); ++I) {
+    assert(Children[I] && "null child");
+    assert(AG->prod(Children[I]->Prod).Lhs == Pr.Rhs[I] &&
+           "child phylum does not match production signature");
+    Children[I]->Parent = N.get();
+    Children[I]->IndexInParent = I;
+    N->Children.push_back(std::move(Children[I]));
+  }
+  return N;
+}
+
+static bool validateNode(const AttributeGrammar &AG, const TreeNode *N,
+                         DiagnosticEngine &Diags) {
+  const Production &Pr = AG.prod(N->Prod);
+  if (N->arity() != Pr.arity()) {
+    Diags.error("node applying '" + Pr.Name + "' has " +
+                std::to_string(N->arity()) + " children, expected " +
+                std::to_string(Pr.arity()));
+    return false;
+  }
+  bool Ok = true;
+  for (unsigned I = 0; I != N->arity(); ++I) {
+    const TreeNode *C = N->child(I);
+    if (C->Parent != N || C->IndexInParent != I) {
+      Diags.error("broken parent link under operator '" + Pr.Name + "'");
+      Ok = false;
+    }
+    if (AG.prod(C->Prod).Lhs != Pr.Rhs[I]) {
+      Diags.error("child " + std::to_string(I) + " of operator '" + Pr.Name +
+                  "' has wrong phylum");
+      Ok = false;
+    }
+    Ok &= validateNode(AG, C, Diags);
+  }
+  return Ok;
+}
+
+bool Tree::validate(DiagnosticEngine &Diags) const {
+  if (!Root) {
+    Diags.error("tree has no root");
+    return false;
+  }
+  if (AG->Start != InvalidId && AG->prod(Root->Prod).Lhs != AG->Start)
+    Diags.warning("root node is not of the start phylum");
+  return validateNode(*AG, Root.get(), Diags);
+}
+
+static unsigned countNodes(const TreeNode *N) {
+  unsigned Count = 1;
+  for (const auto &C : N->Children)
+    Count += countNodes(C.get());
+  return Count;
+}
+
+unsigned Tree::size() const { return Root ? countNodes(Root.get()) : 0; }
+
+static void resetNode(TreeNode *N) {
+  N->AttrVals.clear();
+  N->AttrComputed.clear();
+  N->LocalVals.clear();
+  N->LocalComputed.clear();
+  N->PartitionId = 0;
+  for (auto &C : N->Children)
+    resetNode(C.get());
+}
+
+void Tree::resetAttributes() {
+  if (Root)
+    resetNode(Root.get());
+}
+
+std::unique_ptr<TreeNode> Tree::replaceSubtree(TreeNode *Old,
+                                               std::unique_ptr<TreeNode> New) {
+  assert(Old && New && "null subtree in replacement");
+  assert(AG->prod(Old->Prod).Lhs == AG->prod(New->Prod).Lhs &&
+         "replacement changes the phylum");
+  TreeNode *Parent = Old->Parent;
+  if (!Parent) {
+    assert(Old == Root.get() && "detached node passed to replaceSubtree");
+    std::unique_ptr<TreeNode> Detached = std::move(Root);
+    New->Parent = nullptr;
+    New->IndexInParent = 0;
+    Root = std::move(New);
+    return Detached;
+  }
+  unsigned Idx = Old->IndexInParent;
+  std::unique_ptr<TreeNode> Detached = std::move(Parent->Children[Idx]);
+  New->Parent = Parent;
+  New->IndexInParent = Idx;
+  Parent->Children[Idx] = std::move(New);
+  Detached->Parent = nullptr;
+  return Detached;
+}
+
+std::unique_ptr<TreeNode> Tree::clone(const TreeNode *N) const {
+  auto Copy = std::make_unique<TreeNode>();
+  Copy->Prod = N->Prod;
+  Copy->Lexeme = N->Lexeme;
+  for (unsigned I = 0; I != N->arity(); ++I) {
+    auto C = clone(N->child(I));
+    C->Parent = Copy.get();
+    C->IndexInParent = I;
+    Copy->Children.push_back(std::move(C));
+  }
+  return Copy;
+}
+
+//===----------------------------------------------------------------------===//
+// Term syntax
+//===----------------------------------------------------------------------===//
+
+static void writeTermRec(const AttributeGrammar &AG, const TreeNode *N,
+                         std::string &Out) {
+  const Production &Pr = AG.prod(N->Prod);
+  Out += Pr.Name;
+  if (Pr.HasLexeme) {
+    Out += '<';
+    if (N->Lexeme.isString()) {
+      Out += '"';
+      Out += N->Lexeme.asString();
+      Out += '"';
+    } else if (N->Lexeme.isInt()) {
+      Out += std::to_string(N->Lexeme.asInt());
+    }
+    Out += '>';
+  }
+  if (N->arity() != 0) {
+    Out += '(';
+    for (unsigned I = 0; I != N->arity(); ++I) {
+      if (I)
+        Out += ',';
+      writeTermRec(AG, N->child(I), Out);
+    }
+    Out += ')';
+  }
+}
+
+std::string fnc2::writeTerm(const AttributeGrammar &AG, const TreeNode *N) {
+  std::string Out;
+  writeTermRec(AG, N, Out);
+  return Out;
+}
+
+namespace {
+
+/// Tiny recursive-descent reader for the term syntax.
+class TermParser {
+public:
+  TermParser(const AttributeGrammar &AG, const std::string &Text,
+             DiagnosticEngine &Diags, Tree &T)
+      : AG(AG), Text(Text), Diags(Diags), T(T) {}
+
+  std::unique_ptr<TreeNode> parseNode() {
+    skipSpace();
+    std::string Name = parseIdent();
+    if (Name.empty()) {
+      error("expected operator name");
+      return nullptr;
+    }
+    ProdId P = AG.findProd(Name);
+    if (P == InvalidId) {
+      error("unknown operator '" + Name + "'");
+      return nullptr;
+    }
+    const Production &Pr = AG.prod(P);
+
+    Value Lexeme;
+    skipSpace();
+    if (peek() == '<') {
+      ++Pos;
+      Lexeme = parseLexeme();
+      if (peek() != '>') {
+        error("expected '>' after lexeme");
+        return nullptr;
+      }
+      ++Pos;
+    }
+    if (Pr.HasLexeme && Lexeme.isUnit()) {
+      error("operator '" + Name + "' requires a lexeme");
+      return nullptr;
+    }
+
+    std::vector<std::unique_ptr<TreeNode>> Children;
+    skipSpace();
+    if (peek() == '(') {
+      ++Pos;
+      skipSpace();
+      if (peek() != ')') {
+        while (true) {
+          auto C = parseNode();
+          if (!C)
+            return nullptr;
+          Children.push_back(std::move(C));
+          skipSpace();
+          if (peek() == ',') {
+            ++Pos;
+            continue;
+          }
+          break;
+        }
+      }
+      if (peek() != ')') {
+        error("expected ')'");
+        return nullptr;
+      }
+      ++Pos;
+    }
+    if (Children.size() != Pr.arity()) {
+      error("operator '" + Name + "' expects " + std::to_string(Pr.arity()) +
+            " children, got " + std::to_string(Children.size()));
+      return nullptr;
+    }
+    for (unsigned I = 0; I != Children.size(); ++I)
+      if (AG.prod(Children[I]->Prod).Lhs != Pr.Rhs[I]) {
+        error("child " + std::to_string(I) + " of '" + Name +
+              "' has the wrong phylum");
+        return nullptr;
+      }
+    return T.make(P, std::move(Children), std::move(Lexeme));
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+private:
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+  std::string parseIdent() {
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_'))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+  Value parseLexeme() {
+    skipSpace();
+    if (peek() == '"') {
+      ++Pos;
+      std::string S;
+      while (Pos < Text.size() && Text[Pos] != '"')
+        S += Text[Pos++];
+      if (peek() == '"')
+        ++Pos;
+      return Value::ofString(std::move(S));
+    }
+    bool Neg = false;
+    if (peek() == '-') {
+      Neg = true;
+      ++Pos;
+    }
+    int64_t V = 0;
+    bool Any = false;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      V = V * 10 + (Text[Pos++] - '0');
+      Any = true;
+    }
+    if (!Any) {
+      error("expected lexeme value");
+      return Value();
+    }
+    return Value::ofInt(Neg ? -V : V);
+  }
+  void error(const std::string &Msg) {
+    Diags.error("term syntax: " + Msg + " at offset " + std::to_string(Pos));
+  }
+
+  const AttributeGrammar &AG;
+  const std::string &Text;
+  DiagnosticEngine &Diags;
+  Tree &T;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Tree fnc2::readTerm(const AttributeGrammar &AG, const std::string &Text,
+                    DiagnosticEngine &Diags) {
+  Tree T(AG);
+  TermParser P(AG, Text, Diags, T);
+  auto Root = P.parseNode();
+  if (Root && !P.atEnd())
+    Diags.error("term syntax: trailing input");
+  if (Root && !Diags.hasErrors())
+    T.setRoot(std::move(Root));
+  return T;
+}

@@ -1,0 +1,110 @@
+//===- tree/Tree.h - Attributed abstract trees ------------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explicitly-built attributed trees FNC-2 evaluators walk (the design
+/// ruled out tree-less methods, paper section 1). Nodes know their operator,
+/// children, parent link (needed by LEAVE and by incremental propagation),
+/// an optional lexeme for leaf operators, and per-attribute value slots used
+/// when attributes are tree-resident.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_TREE_TREE_H
+#define FNC2_TREE_TREE_H
+
+#include "grammar/AttributeGrammar.h"
+#include "value/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace fnc2 {
+
+/// One node of an attributed abstract tree.
+struct TreeNode {
+  ProdId Prod = InvalidId;
+  TreeNode *Parent = nullptr;
+  unsigned IndexInParent = 0;
+  std::vector<std::unique_ptr<TreeNode>> Children;
+  /// Lexical value of leaf operators declared with a lexeme slot.
+  Value Lexeme;
+
+  /// Tree-resident attribute storage, indexed like the phylum's attribute
+  /// list; maintained by the evaluators.
+  std::vector<Value> AttrVals;
+  std::vector<uint8_t> AttrComputed;
+  /// Storage for the production's local attributes.
+  std::vector<Value> LocalVals;
+  std::vector<uint8_t> LocalComputed;
+
+  /// Partition assigned by the l-ordered evaluator (identifies which
+  /// visit-sequence variant applies at this node).
+  unsigned PartitionId = 0;
+
+  TreeNode *child(unsigned I) const { return Children[I].get(); }
+  unsigned arity() const { return static_cast<unsigned>(Children.size()); }
+};
+
+/// Owns a tree over a fixed grammar and provides constructors/validation.
+class Tree {
+public:
+  explicit Tree(const AttributeGrammar &AG) : AG(&AG) {}
+  Tree(Tree &&) = default;
+  Tree &operator=(Tree &&) = default;
+
+  const AttributeGrammar &grammar() const { return *AG; }
+  TreeNode *root() const { return Root.get(); }
+  void setRoot(std::unique_ptr<TreeNode> N);
+
+  /// Creates a node applying production \p P with the given children; the
+  /// children's phyla are asserted against the production signature.
+  std::unique_ptr<TreeNode>
+  make(ProdId P, std::vector<std::unique_ptr<TreeNode>> Children = {},
+       Value Lexeme = Value());
+
+  /// Convenience: leaf node with a lexeme.
+  std::unique_ptr<TreeNode> makeLeaf(ProdId P, Value Lexeme) {
+    return make(P, {}, std::move(Lexeme));
+  }
+
+  /// Verifies parent/child structure, production signatures and phylum of
+  /// the root against the grammar. Reports through \p Diags.
+  bool validate(DiagnosticEngine &Diags) const;
+
+  /// Total number of nodes.
+  unsigned size() const;
+
+  /// Clears evaluation state (attribute slots) of the whole tree.
+  void resetAttributes();
+
+  /// Replaces the subtree rooted at \p Old (which must be in this tree and
+  /// not the root... the root is allowed too) by \p New; returns the detached
+  /// old subtree. Phyla of old and new roots must agree.
+  std::unique_ptr<TreeNode> replaceSubtree(TreeNode *Old,
+                                           std::unique_ptr<TreeNode> New);
+
+  /// Deep copy of a subtree (attribute state not copied).
+  std::unique_ptr<TreeNode> clone(const TreeNode *N) const;
+
+private:
+  const AttributeGrammar *AG;
+  std::unique_ptr<TreeNode> Root;
+};
+
+/// Renders a subtree in the textual term syntax understood by TermReader,
+/// e.g. "Add(Num<3>,Num<4>)".
+std::string writeTerm(const AttributeGrammar &AG, const TreeNode *N);
+
+/// Parses the textual term syntax into a tree over \p AG. Operators are
+/// referenced by name; lexemes appear in angle brackets as integers or
+/// double-quoted strings. Returns an empty tree and diagnostics on error.
+Tree readTerm(const AttributeGrammar &AG, const std::string &Text,
+              DiagnosticEngine &Diags);
+
+} // namespace fnc2
+
+#endif // FNC2_TREE_TREE_H

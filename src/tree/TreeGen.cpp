@@ -1,0 +1,143 @@
+//===- tree/TreeGen.cpp ---------------------------------------------------===//
+
+#include "tree/TreeGen.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace fnc2;
+
+TreeGenerator::TreeGenerator(const AttributeGrammar &AG, uint64_t Seed)
+    : AG(AG), State(Seed ? Seed : 0x9e3779b97f4a7c15ULL) {
+  // Fixpoint for minimal completion sizes (a production's size is 1 plus the
+  // sum of its children's minimal sizes).
+  constexpr unsigned Inf = std::numeric_limits<unsigned>::max() / 4;
+  MinSize.assign(AG.numPhyla(), Inf);
+  ProdMinSize.assign(AG.numProds(), Inf);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (ProdId P = 0; P != AG.numProds(); ++P) {
+      const Production &Pr = AG.prod(P);
+      unsigned Size = 1;
+      bool Complete = true;
+      for (PhylumId C : Pr.Rhs) {
+        if (MinSize[C] >= Inf) {
+          Complete = false;
+          break;
+        }
+        Size += MinSize[C];
+      }
+      if (!Complete)
+        continue;
+      if (Size < ProdMinSize[P]) {
+        ProdMinSize[P] = Size;
+        Changed = true;
+      }
+      if (Size < MinSize[Pr.Lhs]) {
+        MinSize[Pr.Lhs] = Size;
+        Changed = true;
+      }
+    }
+  }
+}
+
+uint64_t TreeGenerator::nextRand() {
+  // xorshift64*: cheap, deterministic, good enough for workload shaping.
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return State * 0x2545F4914F6CDD1DULL;
+}
+
+std::unique_ptr<TreeNode> TreeGenerator::generateNode(Tree &T, PhylumId P,
+                                                      unsigned Budget) {
+  // Candidate productions that can complete within the budget; if none,
+  // fall back to the absolutely smallest completion.
+  std::vector<ProdId> Fitting, Growing, Absorbing;
+  ProdId Smallest = InvalidId;
+  auto phylumGrowable = [&](PhylumId X) {
+    for (ProdId Pr : AG.phylum(X).Prods)
+      if (ProdMinSize[Pr] > MinSize[X])
+        return true;
+    return false;
+  };
+  for (ProdId Pr : AG.phylum(P).Prods) {
+    if (Smallest == InvalidId ||
+        ProdMinSize[Pr] < ProdMinSize[Smallest])
+      Smallest = Pr;
+    if (ProdMinSize[Pr] <= Budget) {
+      Fitting.push_back(Pr);
+      if (ProdMinSize[Pr] > MinSize[P])
+        Growing.push_back(Pr);
+      // A production absorbs budget when some son's phylum keeps growing —
+      // its own minimality is irrelevant (a minimal wrapper around a
+      // recursive son still heads toward the target).
+      for (PhylumId C : AG.prod(Pr).Rhs)
+        if (phylumGrowable(C)) {
+          Absorbing.push_back(Pr);
+          break;
+        }
+    }
+  }
+  assert(Smallest != InvalidId && "phylum has no operators");
+  // While plenty of budget remains, prefer productions that can actually
+  // absorb it, so the tree heads toward the target instead of collapsing.
+  ProdId Chosen;
+  if (Budget > 2 * MinSize[P] && !Absorbing.empty())
+    Chosen = Absorbing[nextRand() % Absorbing.size()];
+  else if (Budget > 2 * MinSize[P] && !Growing.empty())
+    Chosen = Growing[nextRand() % Growing.size()];
+  else if (!Fitting.empty())
+    Chosen = Fitting[nextRand() % Fitting.size()];
+  else
+    Chosen = Smallest;
+  const Production &Prod = AG.prod(Chosen);
+
+  // Split the remaining budget between children; surplus only goes to
+  // children whose phylum can actually grow (has a non-minimal production),
+  // otherwise it would be silently wasted and trees would stay tiny.
+  unsigned Remaining = Budget > ProdMinSize[Chosen]
+                           ? Budget - ProdMinSize[Chosen]
+                           : 0;
+  std::vector<unsigned> ChildBudget(Prod.arity());
+  std::vector<unsigned> GrowableKids;
+  for (unsigned I = 0; I != Prod.arity(); ++I) {
+    ChildBudget[I] = MinSize[Prod.Rhs[I]];
+    for (ProdId Pr : AG.phylum(Prod.Rhs[I]).Prods)
+      if (ProdMinSize[Pr] > MinSize[Prod.Rhs[I]]) {
+        GrowableKids.push_back(I);
+        break;
+      }
+  }
+  while (Remaining > 0 && !GrowableKids.empty()) {
+    unsigned Chunk =
+        std::max<unsigned>(1, Remaining / unsigned(GrowableKids.size()));
+    ChildBudget[GrowableKids[nextRand() % GrowableKids.size()]] += Chunk;
+    Remaining -= std::min(Remaining, Chunk);
+  }
+
+  std::vector<std::unique_ptr<TreeNode>> Children;
+  for (unsigned I = 0; I != Prod.arity(); ++I)
+    Children.push_back(generateNode(T, Prod.Rhs[I], ChildBudget[I]));
+
+  Value Lexeme;
+  if (Prod.HasLexeme) {
+    if (Prod.StringLexeme) {
+      // A small identifier pool keeps lookups/shadowing interesting.
+      static const char *const Names[] = {"a", "b", "c", "d", "e",
+                                          "f", "g", "h", "i", "j"};
+      Lexeme = Value::ofString(Names[nextRand() % 10]);
+    } else {
+      Lexeme = Value::ofInt(static_cast<int64_t>(nextRand() % 1000));
+    }
+  }
+  return T.make(Chosen, std::move(Children), std::move(Lexeme));
+}
+
+Tree TreeGenerator::generate(unsigned TargetSize) {
+  Tree T(AG);
+  assert(AG.Start != InvalidId && "grammar has no start phylum");
+  T.setRoot(generateNode(T, AG.Start, TargetSize));
+  return T;
+}

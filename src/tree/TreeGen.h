@@ -1,0 +1,53 @@
+//===- tree/TreeGen.h - Random tree workload generator ----------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random generation of well-typed trees over any
+/// grammar, used as the workload generator for the evaluation benches (the
+/// paper ran its evaluators on "various source texts"; we synthesize trees
+/// of controlled size instead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_TREE_TREEGEN_H
+#define FNC2_TREE_TREEGEN_H
+
+#include "tree/Tree.h"
+
+#include <cstdint>
+
+namespace fnc2 {
+
+/// Grows random trees whose size approaches a target node count. The
+/// generator precomputes, per phylum, the minimal completion depth so it can
+/// steer toward leaf operators once the budget is spent; generation is fully
+/// deterministic in the seed.
+class TreeGenerator {
+public:
+  explicit TreeGenerator(const AttributeGrammar &AG, uint64_t Seed = 1);
+
+  /// Generates a tree rooted at the start phylum with roughly \p TargetSize
+  /// nodes (always at least the minimal completion size).
+  Tree generate(unsigned TargetSize);
+
+  /// Generates a subtree of phylum \p P into \p T.
+  std::unique_ptr<TreeNode> generateNode(Tree &T, PhylumId P,
+                                         unsigned Budget);
+
+private:
+  uint64_t nextRand();
+
+  const AttributeGrammar &AG;
+  uint64_t State;
+  /// Minimal number of nodes needed to complete a tree of each phylum.
+  std::vector<unsigned> MinSize;
+  /// Minimal completion size per production.
+  std::vector<unsigned> ProdMinSize;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_TREE_TREEGEN_H

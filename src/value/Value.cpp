@@ -1,0 +1,227 @@
+//===- value/Value.cpp ----------------------------------------------------===//
+
+#include "value/Value.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace fnc2;
+
+Value Value::ofInt(int64_t V) {
+  Value R;
+  R.TheKind = Kind::Int;
+  R.IntVal = V;
+  return R;
+}
+
+Value Value::ofBool(bool V) {
+  Value R;
+  R.TheKind = Kind::Bool;
+  R.BoolVal = V;
+  return R;
+}
+
+Value Value::ofString(std::string V) {
+  Value R;
+  R.TheKind = Kind::Str;
+  R.StrVal = std::make_shared<const std::string>(std::move(V));
+  return R;
+}
+
+Value Value::ofList(std::vector<Value> Elems) {
+  Value R;
+  R.TheKind = Kind::List;
+  R.ListVal = std::make_shared<const std::vector<Value>>(std::move(Elems));
+  return R;
+}
+
+Value Value::emptyMap() {
+  Value R;
+  R.TheKind = Kind::Map;
+  return R;
+}
+
+int64_t Value::asInt() const {
+  assert(isInt() && "value is not an integer");
+  return IntVal;
+}
+
+bool Value::asBool() const {
+  assert(isBool() && "value is not a boolean");
+  return BoolVal;
+}
+
+const std::string &Value::asString() const {
+  assert(isString() && "value is not a string");
+  return *StrVal;
+}
+
+const std::vector<Value> &Value::asList() const {
+  assert(isList() && "value is not a list");
+  return *ListVal;
+}
+
+Value Value::mapInsert(const std::string &Key, Value V) const {
+  assert(isMap() && "value is not a map");
+  auto Node = std::make_shared<EnvNode>();
+  Node->Key = Key;
+  Node->Bound = std::make_shared<Value>(std::move(V));
+  Node->Parent = MapVal;
+  Value R;
+  R.TheKind = Kind::Map;
+  R.MapVal = std::move(Node);
+  return R;
+}
+
+const Value *Value::mapLookup(const std::string &Key) const {
+  assert(isMap() && "value is not a map");
+  for (const EnvNode *N = MapVal.get(); N; N = N->Parent.get())
+    if (N->Key == Key)
+      return N->Bound.get();
+  return nullptr;
+}
+
+unsigned Value::mapSize() const {
+  return static_cast<unsigned>(mapEntries().size());
+}
+
+std::vector<std::pair<std::string, Value>> Value::mapEntries() const {
+  assert(isMap() && "value is not a map");
+  std::vector<std::pair<std::string, Value>> Out;
+  std::set<std::string> Seen;
+  for (const EnvNode *N = MapVal.get(); N; N = N->Parent.get())
+    if (Seen.insert(N->Key).second)
+      Out.emplace_back(N->Key, *N->Bound);
+  return Out;
+}
+
+Value Value::listAppend(Value V) const {
+  assert(isList() && "value is not a list");
+  std::vector<Value> Elems = *ListVal;
+  Elems.push_back(std::move(V));
+  return ofList(std::move(Elems));
+}
+
+Value Value::listConcat(const Value &A, const Value &B) {
+  std::vector<Value> Elems = A.asList();
+  const auto &BE = B.asList();
+  Elems.insert(Elems.end(), BE.begin(), BE.end());
+  return ofList(std::move(Elems));
+}
+
+bool Value::equals(const Value &Other) const {
+  if (TheKind != Other.TheKind)
+    return false;
+  switch (TheKind) {
+  case Kind::Unit:
+    return true;
+  case Kind::Int:
+    return IntVal == Other.IntVal;
+  case Kind::Bool:
+    return BoolVal == Other.BoolVal;
+  case Kind::Str:
+    return *StrVal == *Other.StrVal;
+  case Kind::List: {
+    if (ListVal == Other.ListVal)
+      return true;
+    const auto &A = *ListVal, &B = *Other.ListVal;
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0, E = A.size(); I != E; ++I)
+      if (!A[I].equals(B[I]))
+        return false;
+    return true;
+  }
+  case Kind::Map: {
+    if (MapVal == Other.MapVal)
+      return true;
+    auto A = mapEntries(), B = Other.mapEntries();
+    if (A.size() != B.size())
+      return false;
+    auto ByKey = [](const auto &X, const auto &Y) { return X.first < Y.first; };
+    std::sort(A.begin(), A.end(), ByKey);
+    std::sort(B.begin(), B.end(), ByKey);
+    for (size_t I = 0, E = A.size(); I != E; ++I)
+      if (A[I].first != B[I].first || !A[I].second.equals(B[I].second))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+std::string Value::str() const {
+  switch (TheKind) {
+  case Kind::Unit:
+    return "()";
+  case Kind::Int:
+    return std::to_string(IntVal);
+  case Kind::Bool:
+    return BoolVal ? "true" : "false";
+  case Kind::Str:
+    return "\"" + *StrVal + "\"";
+  case Kind::List: {
+    std::string Out = "[";
+    for (size_t I = 0, E = ListVal->size(); I != E; ++I) {
+      if (I)
+        Out += ", ";
+      Out += (*ListVal)[I].str();
+    }
+    Out += "]";
+    return Out;
+  }
+  case Kind::Map: {
+    auto Entries = mapEntries();
+    std::sort(Entries.begin(), Entries.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    std::string Out = "{";
+    for (size_t I = 0, E = Entries.size(); I != E; ++I) {
+      if (I)
+        Out += ", ";
+      Out += Entries[I].first;
+      Out += "=";
+      Out += Entries[I].second.str();
+    }
+    Out += "}";
+    return Out;
+  }
+  }
+  return "<?>";
+}
+
+static size_t hashCombine(size_t Seed, size_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+size_t Value::hash() const {
+  size_t H = static_cast<size_t>(TheKind);
+  switch (TheKind) {
+  case Kind::Unit:
+    break;
+  case Kind::Int:
+    H = hashCombine(H, std::hash<int64_t>()(IntVal));
+    break;
+  case Kind::Bool:
+    H = hashCombine(H, BoolVal ? 1 : 2);
+    break;
+  case Kind::Str:
+    H = hashCombine(H, std::hash<std::string>()(*StrVal));
+    break;
+  case Kind::List:
+    for (const Value &E : *ListVal)
+      H = hashCombine(H, E.hash());
+    break;
+  case Kind::Map: {
+    auto Entries = mapEntries();
+    std::sort(Entries.begin(), Entries.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    for (const auto &[K, V] : Entries) {
+      H = hashCombine(H, std::hash<std::string>()(K));
+      H = hashCombine(H, V.hash());
+    }
+    break;
+  }
+  }
+  return H;
+}

@@ -1,0 +1,105 @@
+//===- value/Value.h - Attribute value domain -------------------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic value domain attributes range over: unit, integers, booleans,
+/// strings, immutable lists and persistent maps (assoc environments used as
+/// symbol tables). Maps share structure on extension, which is what makes the
+/// incremental evaluator's old/new comparison affordable (paper section
+/// 2.1.2: the notion of equality used in the comparison is adaptable; we
+/// default to structural equality).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_VALUE_VALUE_H
+#define FNC2_VALUE_VALUE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fnc2 {
+
+class Value;
+
+/// Persistent association environment: extension chains a new binding in
+/// front of the parent, so symbol tables built during evaluation share tails.
+struct EnvNode {
+  std::string Key;
+  std::shared_ptr<Value> Bound;
+  std::shared_ptr<const EnvNode> Parent;
+};
+
+/// A dynamically-typed attribute value.
+class Value {
+public:
+  enum class Kind : uint8_t { Unit, Int, Bool, Str, List, Map };
+
+  Value() : TheKind(Kind::Unit) {}
+
+  static Value unit() { return Value(); }
+  static Value ofInt(int64_t V);
+  static Value ofBool(bool V);
+  static Value ofString(std::string V);
+  static Value ofList(std::vector<Value> Elems);
+  static Value emptyMap();
+
+  Kind kind() const { return TheKind; }
+  bool isUnit() const { return TheKind == Kind::Unit; }
+  bool isInt() const { return TheKind == Kind::Int; }
+  bool isBool() const { return TheKind == Kind::Bool; }
+  bool isString() const { return TheKind == Kind::Str; }
+  bool isList() const { return TheKind == Kind::List; }
+  bool isMap() const { return TheKind == Kind::Map; }
+
+  /// Accessors assert on kind mismatch (programmatic error).
+  int64_t asInt() const;
+  bool asBool() const;
+  const std::string &asString() const;
+  const std::vector<Value> &asList() const;
+
+  /// Returns a map extended with Key -> V (shares structure with this map).
+  Value mapInsert(const std::string &Key, Value V) const;
+  /// Looks up Key; returns nullptr when absent.
+  const Value *mapLookup(const std::string &Key) const;
+  /// Number of visible (non-shadowed) bindings.
+  unsigned mapSize() const;
+  /// Visible bindings, most recently inserted first, shadowed ones skipped.
+  std::vector<std::pair<std::string, Value>> mapEntries() const;
+
+  /// Returns a list with \p V appended (copies; lists are immutable values).
+  Value listAppend(Value V) const;
+  /// Concatenation of two lists.
+  static Value listConcat(const Value &A, const Value &B);
+
+  /// Structural equality; maps compare by visible bindings.
+  bool equals(const Value &Other) const;
+  bool operator==(const Value &Other) const { return equals(Other); }
+
+  /// Human-readable rendering (lists as [..], maps as {k=v, ..}).
+  std::string str() const;
+
+  /// A stable structural hash, consistent with equals().
+  size_t hash() const;
+
+private:
+  Kind TheKind;
+  int64_t IntVal = 0;
+  bool BoolVal = false;
+  std::shared_ptr<const std::string> StrVal;
+  std::shared_ptr<const std::vector<Value>> ListVal;
+  std::shared_ptr<const EnvNode> MapVal;
+};
+
+/// Signature of a semantic function: strict, pure, takes argument values in
+/// rule order and returns the defined occurrence's value.
+using SemanticFn = std::function<Value(const std::vector<Value> &)>;
+
+} // namespace fnc2
+
+#endif // FNC2_VALUE_VALUE_H

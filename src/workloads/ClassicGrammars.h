@@ -1,0 +1,51 @@
+//===- workloads/ClassicGrammars.h - Canonical test grammars ----*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small, fully-executable attribute grammars with known classes, used by
+/// the unit tests, the examples and the benches:
+///
+///  * deskCalculator  — let-expressions over integer arithmetic with
+///                      environment maps; OAG(0), one visit per phylum.
+///  * binaryNumbers   — Knuth's seminal example [34] with the fractional
+///                      part, which makes the scale of the fraction list
+///                      depend on its own length: two visits.
+///  * repmin          — the classic two-pass min-broadcast grammar.
+///  * circularGrammar — genuinely circular: rejected by the SNC test.
+///  * twoContextGrammar — SNC but not DNC: two contexts demand opposite
+///                      evaluation orders, so the phylum needs two
+///                      totally-ordered partitions (exercises the
+///                      partition-carrying VISIT mechanism).
+///  * dncNotOagGrammar — DNC but well beyond OAG(0): a triangle of sibling
+///                      conflicts between three independent attribute pairs
+///                      of one phylum. Kastens' grouped partition deadlocks
+///                      every conflict production; each repair round can
+///                      split only one pairing. Plays the paper's AG 5
+///                      (class row "DNC" under the default OAG(0) test).
+///  * oag1Grammar     — not OAG(0) but OAG(1): a single sibling conflict;
+///                      one repair round splits the grouped partition (the
+///                      paper's AG 7, found OAG(1) by trial and error).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_WORKLOADS_CLASSICGRAMMARS_H
+#define FNC2_WORKLOADS_CLASSICGRAMMARS_H
+
+#include "grammar/AttributeGrammar.h"
+
+namespace fnc2::workloads {
+
+AttributeGrammar deskCalculator(DiagnosticEngine &Diags);
+AttributeGrammar binaryNumbers(DiagnosticEngine &Diags);
+AttributeGrammar repmin(DiagnosticEngine &Diags);
+AttributeGrammar circularGrammar(DiagnosticEngine &Diags);
+AttributeGrammar twoContextGrammar(DiagnosticEngine &Diags);
+AttributeGrammar dncNotOagGrammar(DiagnosticEngine &Diags);
+AttributeGrammar oag1Grammar(DiagnosticEngine &Diags);
+
+} // namespace fnc2::workloads
+
+#endif // FNC2_WORKLOADS_CLASSICGRAMMARS_H

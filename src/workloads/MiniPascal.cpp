@@ -1,0 +1,988 @@
+//===- workloads/MiniPascal.cpp -------------------------------------------===//
+
+#include "workloads/MiniPascal.h"
+
+#include "grammar/GrammarBuilder.h"
+
+#include <cctype>
+
+using namespace fnc2;
+using namespace fnc2::workloads;
+
+static AttrOcc occ(unsigned Pos, AttrId A) { return AttrOcc::onSymbol(Pos, A); }
+
+// Type codes in the env and on expressions.
+static constexpr int64_t TyInt = 0;
+static constexpr int64_t TyBool = 1;
+static constexpr int64_t TyErr = 2;
+
+//===----------------------------------------------------------------------===//
+// Value helpers shared by the semantic rules
+//===----------------------------------------------------------------------===//
+
+static Value emptyCode() { return Value::ofList({}); }
+static Value instr(const std::string &S) {
+  return Value::ofList({Value::ofString(S)});
+}
+static Value cat(const Value &A, const Value &B) {
+  return Value::listConcat(A, B);
+}
+static Value labInstr(const char *Op, int64_t L) {
+  return instr(std::string(Op) + " L" + std::to_string(L));
+}
+
+AttributeGrammar workloads::miniPascal(DiagnosticEngine &Diags) {
+  GrammarBuilder B("mini-pascal");
+
+  PhylumId Prog = B.phylum("Prog");
+  PhylumId DeclList = B.phylum("DeclList");
+  PhylumId Decl = B.phylum("Decl");
+  PhylumId StmtList = B.phylum("StmtList");
+  PhylumId Stmt = B.phylum("Stmt");
+  PhylumId Expr = B.phylum("Expr");
+
+  AttrId PCode = B.synthesized(Prog, "code", "list");
+  AttrId PErrs = B.synthesized(Prog, "errs", "int");
+  AttrId DLEnv = B.inherited(DeclList, "env", "map");
+  AttrId DLOut = B.synthesized(DeclList, "envout", "map");
+  AttrId DLErrs = B.synthesized(DeclList, "errs", "int");
+  AttrId DEnv = B.inherited(Decl, "env", "map");
+  AttrId DOut = B.synthesized(Decl, "envout", "map");
+  AttrId DErrs = B.synthesized(Decl, "errs", "int");
+  AttrId SLEnv = B.inherited(StmtList, "env", "map");
+  AttrId SLLab = B.inherited(StmtList, "lab", "int");
+  AttrId SLLabOut = B.synthesized(StmtList, "labout", "int");
+  AttrId SLCode = B.synthesized(StmtList, "code", "list");
+  AttrId SLErrs = B.synthesized(StmtList, "errs", "int");
+  AttrId SEnv = B.inherited(Stmt, "env", "map");
+  AttrId SLab = B.inherited(Stmt, "lab", "int");
+  AttrId SLabOut = B.synthesized(Stmt, "labout", "int");
+  AttrId SCode = B.synthesized(Stmt, "code", "list");
+  AttrId SErrs = B.synthesized(Stmt, "errs", "int");
+  AttrId EEnv = B.inherited(Expr, "env", "map");
+  AttrId ETy = B.synthesized(Expr, "ty", "int");
+  AttrId ECode = B.synthesized(Expr, "code", "list");
+  AttrId EErrs = B.synthesized(Expr, "errs", "int");
+
+  auto sum2 = [](const std::vector<Value> &A) {
+    return Value::ofInt(A[0].asInt() + A[1].asInt());
+  };
+  auto sum3 = [](const std::vector<Value> &A) {
+    return Value::ofInt(A[0].asInt() + A[1].asInt() + A[2].asInt());
+  };
+
+  // Program(d: DeclList, s: StmtList) -> Prog
+  ProdId Program = B.production("Program", Prog, {DeclList, StmtList});
+  B.rule(Program, occ(1, DLEnv), {}, "emptyEnv",
+         [](const std::vector<Value> &) { return Value::emptyMap(); });
+  B.copy(Program, occ(2, SLEnv), occ(1, DLOut));
+  B.constant(Program, occ(2, SLLab), Value::ofInt(0), "zero");
+  B.rule(Program, occ(0, PCode), {occ(2, SLCode)}, "sealCode",
+         [](const std::vector<Value> &A) { return cat(A[0], instr("HLT")); });
+  B.rule(Program, occ(0, PErrs), {occ(1, DLErrs), occ(2, SLErrs)}, "add",
+         sum2);
+
+  // DeclNil -> DeclList
+  ProdId DeclNil = B.production("DeclNil", DeclList, {});
+  B.copy(DeclNil, occ(0, DLOut), occ(0, DLEnv));
+  B.constant(DeclNil, occ(0, DLErrs), Value::ofInt(0), "zero");
+
+  // DeclCons(d: Decl, rest: DeclList) -> DeclList
+  ProdId DeclCons = B.production("DeclCons", DeclList, {Decl, DeclList});
+  B.copy(DeclCons, occ(1, DEnv), occ(0, DLEnv));
+  B.copy(DeclCons, occ(2, DLEnv), occ(1, DOut));
+  B.copy(DeclCons, occ(0, DLOut), occ(2, DLOut));
+  B.rule(DeclCons, occ(0, DLErrs), {occ(1, DErrs), occ(2, DLErrs)}, "add",
+         sum2);
+
+  // VarInt<name> / VarBool<name> -> Decl
+  auto makeVarDecl = [&](const char *Name, int64_t Ty) {
+    ProdId P = B.production(Name, Decl, {}, /*HasLexeme=*/true,
+                            /*StringLexeme=*/true);
+    B.rule(P, occ(0, DOut), {occ(0, DEnv), AttrOcc::lexeme()}, "declare",
+           [Ty](const std::vector<Value> &A) {
+             return A[0].mapInsert(A[1].asString(), Value::ofInt(Ty));
+           });
+    B.rule(P, occ(0, DErrs), {occ(0, DEnv), AttrOcc::lexeme()}, "redecl",
+           [](const std::vector<Value> &A) {
+             return Value::ofInt(A[0].mapLookup(A[1].asString()) ? 1 : 0);
+           });
+  };
+  makeVarDecl("VarInt", TyInt);
+  makeVarDecl("VarBool", TyBool);
+
+  // StmtNil -> StmtList
+  ProdId StmtNil = B.production("StmtNil", StmtList, {});
+  B.copy(StmtNil, occ(0, SLLabOut), occ(0, SLLab));
+  B.constant(StmtNil, occ(0, SLCode), emptyCode(), "nil");
+  B.constant(StmtNil, occ(0, SLErrs), Value::ofInt(0), "zero");
+
+  // StmtCons(s: Stmt, rest: StmtList) -> StmtList
+  ProdId StmtCons = B.production("StmtCons", StmtList, {Stmt, StmtList});
+  B.copy(StmtCons, occ(1, SLab), occ(0, SLLab));
+  B.copy(StmtCons, occ(2, SLLab), occ(1, SLabOut));
+  B.copy(StmtCons, occ(0, SLLabOut), occ(2, SLLabOut));
+  B.rule(StmtCons, occ(0, SLCode), {occ(1, SCode), occ(2, SLCode)}, "cat",
+         [](const std::vector<Value> &A) { return cat(A[0], A[1]); });
+  B.rule(StmtCons, occ(0, SLErrs), {occ(1, SErrs), occ(2, SLErrs)}, "add",
+         sum2);
+
+  // Assign<name>(e: Expr) -> Stmt
+  ProdId Assign = B.production("Assign", Stmt, {Expr}, /*HasLexeme=*/true,
+                               /*StringLexeme=*/true);
+  B.copy(Assign, occ(0, SLabOut), occ(0, SLab));
+  B.rule(Assign, occ(0, SCode), {occ(1, ECode), AttrOcc::lexeme()}, "store",
+         [](const std::vector<Value> &A) {
+           return cat(A[0], instr("STO " + A[1].asString()));
+         });
+  B.rule(Assign, occ(0, SErrs),
+         {occ(1, EErrs), occ(0, SEnv), AttrOcc::lexeme(), occ(1, ETy)},
+         "checkAssign", [](const std::vector<Value> &A) {
+           int64_t Errs = A[0].asInt();
+           const Value *Declared = A[1].mapLookup(A[2].asString());
+           int64_t Ty = A[3].asInt();
+           if (!Declared)
+             return Value::ofInt(Errs + 1);
+           if (Ty != TyErr && Declared->asInt() != Ty)
+             return Value::ofInt(Errs + 1);
+           return Value::ofInt(Errs);
+         });
+
+  // IfStmt(e: Expr, then: StmtList, els: StmtList) -> Stmt
+  ProdId IfStmt = B.production("IfStmt", Stmt, {Expr, StmtList, StmtList});
+  B.rule(IfStmt, occ(2, SLLab), {occ(0, SLab)}, "plus2",
+         [](const std::vector<Value> &A) {
+           return Value::ofInt(A[0].asInt() + 2);
+         });
+  B.copy(IfStmt, occ(3, SLLab), occ(2, SLLabOut));
+  B.copy(IfStmt, occ(0, SLabOut), occ(3, SLLabOut));
+  B.rule(IfStmt, occ(0, SCode),
+         {occ(1, ECode), occ(2, SLCode), occ(3, SLCode), occ(0, SLab)},
+         "ifCode", [](const std::vector<Value> &A) {
+           int64_t L1 = A[3].asInt(), L2 = A[3].asInt() + 1;
+           Value C = A[0];
+           C = cat(C, labInstr("JPC", L1));
+           C = cat(C, A[1]);
+           C = cat(C, labInstr("JMP", L2));
+           C = cat(C, labInstr("LAB", L1));
+           C = cat(C, A[2]);
+           C = cat(C, labInstr("LAB", L2));
+           return C;
+         });
+  B.rule(IfStmt, occ(0, SErrs),
+         {occ(1, EErrs), occ(2, SLErrs), occ(3, SLErrs), occ(1, ETy)},
+         "checkCond", [](const std::vector<Value> &A) {
+           int64_t E = A[0].asInt() + A[1].asInt() + A[2].asInt();
+           return Value::ofInt(E + (A[3].asInt() == TyBool ? 0 : 1));
+         });
+
+  // WhileStmt(e: Expr, body: StmtList) -> Stmt
+  ProdId WhileStmt = B.production("WhileStmt", Stmt, {Expr, StmtList});
+  B.rule(WhileStmt, occ(2, SLLab), {occ(0, SLab)}, "plus2",
+         [](const std::vector<Value> &A) {
+           return Value::ofInt(A[0].asInt() + 2);
+         });
+  B.copy(WhileStmt, occ(0, SLabOut), occ(2, SLLabOut));
+  B.rule(WhileStmt, occ(0, SCode),
+         {occ(1, ECode), occ(2, SLCode), occ(0, SLab)}, "whileCode",
+         [](const std::vector<Value> &A) {
+           int64_t L1 = A[2].asInt(), L2 = A[2].asInt() + 1;
+           Value C = labInstr("LAB", L1);
+           C = cat(C, A[0]);
+           C = cat(C, labInstr("JPC", L2));
+           C = cat(C, A[1]);
+           C = cat(C, labInstr("JMP", L1));
+           C = cat(C, labInstr("LAB", L2));
+           return C;
+         });
+  B.rule(WhileStmt, occ(0, SErrs),
+         {occ(1, EErrs), occ(2, SLErrs), occ(1, ETy)}, "checkCond",
+         [](const std::vector<Value> &A) {
+           int64_t E = A[0].asInt() + A[1].asInt();
+           return Value::ofInt(E + (A[2].asInt() == TyBool ? 0 : 1));
+         });
+
+  // Write(e: Expr) -> Stmt
+  ProdId Write = B.production("Write", Stmt, {Expr});
+  B.copy(Write, occ(0, SLabOut), occ(0, SLab));
+  B.rule(Write, occ(0, SCode), {occ(1, ECode)}, "writeCode",
+         [](const std::vector<Value> &A) { return cat(A[0], instr("WRI")); });
+  B.copy(Write, occ(0, SErrs), occ(1, EErrs));
+
+  // Expressions.
+  ProdId Num = B.production("Num", Expr, {}, /*HasLexeme=*/true);
+  B.constant(Num, occ(0, ETy), Value::ofInt(TyInt), "tyInt");
+  B.rule(Num, occ(0, ECode), {AttrOcc::lexeme()}, "lit",
+         [](const std::vector<Value> &A) {
+           return instr("LIT " + std::to_string(A[0].asInt()));
+         });
+  B.constant(Num, occ(0, EErrs), Value::ofInt(0), "zero");
+
+  auto makeBoolLit = [&](const char *Name, int64_t V) {
+    ProdId P = B.production(Name, Expr, {});
+    B.constant(P, occ(0, ETy), Value::ofInt(TyBool), "tyBool");
+    B.constant(P, occ(0, ECode), instr("LIT " + std::to_string(V)), "lit");
+    B.constant(P, occ(0, EErrs), Value::ofInt(0), "zero");
+  };
+  makeBoolLit("TrueLit", 1);
+  makeBoolLit("FalseLit", 0);
+
+  ProdId Ident = B.production("Ident", Expr, {}, /*HasLexeme=*/true,
+                              /*StringLexeme=*/true);
+  B.rule(Ident, occ(0, ETy), {occ(0, EEnv), AttrOcc::lexeme()}, "identTy",
+         [](const std::vector<Value> &A) {
+           const Value *Found = A[0].mapLookup(A[1].asString());
+           return Found ? *Found : Value::ofInt(TyErr);
+         });
+  B.rule(Ident, occ(0, ECode), {AttrOcc::lexeme()}, "load",
+         [](const std::vector<Value> &A) {
+           return instr("LOD " + A[0].asString());
+         });
+  B.rule(Ident, occ(0, EErrs), {occ(0, EEnv), AttrOcc::lexeme()}, "declared",
+         [](const std::vector<Value> &A) {
+           return Value::ofInt(A[0].mapLookup(A[1].asString()) ? 0 : 1);
+         });
+
+  auto makeArith = [&](const char *Name, const char *OpCode) {
+    ProdId P = B.production(Name, Expr, {Expr, Expr});
+    B.rule(P, occ(0, ETy), {occ(1, ETy), occ(2, ETy)}, "arithTy",
+           [](const std::vector<Value> &A) {
+             bool Ok = A[0].asInt() == TyInt && A[1].asInt() == TyInt;
+             return Value::ofInt(Ok ? TyInt : TyErr);
+           });
+    std::string Instr = OpCode;
+    B.rule(P, occ(0, ECode), {occ(1, ECode), occ(2, ECode)}, "arithCode",
+           [Instr](const std::vector<Value> &A) {
+             return cat(cat(A[0], A[1]), instr(Instr));
+           });
+    B.rule(P, occ(0, EErrs), {occ(1, EErrs), occ(2, EErrs), occ(1, ETy),
+                              occ(2, ETy)},
+           "arithErrs", [](const std::vector<Value> &A) {
+             bool Ok = A[2].asInt() == TyInt && A[3].asInt() == TyInt;
+             return Value::ofInt(A[0].asInt() + A[1].asInt() + (Ok ? 0 : 1));
+           });
+  };
+  makeArith("Add", "ADD");
+  makeArith("Sub", "SUB");
+  makeArith("Mul", "MUL");
+
+  // Less: int x int -> bool. Eq: same non-error types -> bool.
+  ProdId Less = B.production("Less", Expr, {Expr, Expr});
+  B.rule(Less, occ(0, ETy), {occ(1, ETy), occ(2, ETy)}, "lessTy",
+         [](const std::vector<Value> &A) {
+           bool Ok = A[0].asInt() == TyInt && A[1].asInt() == TyInt;
+           return Value::ofInt(Ok ? TyBool : TyErr);
+         });
+  B.rule(Less, occ(0, ECode), {occ(1, ECode), occ(2, ECode)}, "lessCode",
+         [](const std::vector<Value> &A) {
+           return cat(cat(A[0], A[1]), instr("LES"));
+         });
+  B.rule(Less, occ(0, EErrs),
+         {occ(1, EErrs), occ(2, EErrs), occ(1, ETy), occ(2, ETy)}, "lessErrs",
+         [](const std::vector<Value> &A) {
+           bool Ok = A[2].asInt() == TyInt && A[3].asInt() == TyInt;
+           return Value::ofInt(A[0].asInt() + A[1].asInt() + (Ok ? 0 : 1));
+         });
+
+  ProdId Eq = B.production("Eq", Expr, {Expr, Expr});
+  B.rule(Eq, occ(0, ETy), {occ(1, ETy), occ(2, ETy)}, "eqTy",
+         [](const std::vector<Value> &A) {
+           bool Ok = A[0].asInt() == A[1].asInt() && A[0].asInt() != TyErr;
+           return Value::ofInt(Ok ? TyBool : TyErr);
+         });
+  B.rule(Eq, occ(0, ECode), {occ(1, ECode), occ(2, ECode)}, "eqCode",
+         [](const std::vector<Value> &A) {
+           return cat(cat(A[0], A[1]), instr("EQU"));
+         });
+  B.rule(Eq, occ(0, EErrs),
+         {occ(1, EErrs), occ(2, EErrs), occ(1, ETy), occ(2, ETy)}, "eqErrs",
+         [](const std::vector<Value> &A) {
+           bool Ok = A[2].asInt() == A[3].asInt() && A[2].asInt() != TyErr;
+           return Value::ofInt(A[0].asInt() + A[1].asInt() + (Ok ? 0 : 1));
+         });
+
+  B.setStart(Prog);
+  return B.finalize(Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-written equivalent
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The baseline compiler a careful human would write: direct recursion,
+/// mutable environment and label counter, string vector code buffer.
+class HandCompiler {
+public:
+  explicit HandCompiler(const AttributeGrammar &AG) : AG(AG) {}
+
+  PCodeResult run(const TreeNode *Root) {
+    const TreeNode *Decls = Root->child(0);
+    const TreeNode *Stmts = Root->child(1);
+    compileDecls(Decls);
+    Lab = 0;
+    compileStmts(Stmts);
+    Code.push_back("HLT");
+    return {std::move(Code), Errors};
+  }
+
+private:
+  const std::string &opName(const TreeNode *N) const {
+    return AG.prod(N->Prod).Name;
+  }
+
+  void compileDecls(const TreeNode *N) {
+    const std::string &Op = opName(N);
+    if (Op == "DeclNil")
+      return;
+    // DeclCons(decl, rest)
+    const TreeNode *D = N->child(0);
+    const std::string &DOp = opName(D);
+    const std::string &Name = D->Lexeme.asString();
+    int64_t Ty = DOp == "VarInt" ? TyInt : TyBool;
+    if (Env.mapLookup(Name))
+      ++Errors;
+    Env = Env.mapInsert(Name, Value::ofInt(Ty));
+    compileDecls(N->child(1));
+  }
+
+  void compileStmts(const TreeNode *N) {
+    if (opName(N) == "StmtNil")
+      return;
+    compileStmt(N->child(0));
+    compileStmts(N->child(1));
+  }
+
+  void compileStmt(const TreeNode *N) {
+    const std::string &Op = opName(N);
+    if (Op == "Assign") {
+      int64_t Ty = compileExpr(N->child(0));
+      const std::string &Name = N->Lexeme.asString();
+      const Value *Declared = Env.mapLookup(Name);
+      if (!Declared)
+        ++Errors;
+      else if (Ty != TyErr && Declared->asInt() != Ty)
+        ++Errors;
+      Code.push_back("STO " + Name);
+      return;
+    }
+    if (Op == "IfStmt") {
+      int64_t L1 = Lab, L2 = Lab + 1;
+      Lab += 2;
+      int64_t Ty = compileExpr(N->child(0));
+      if (Ty != TyBool)
+        ++Errors;
+      Code.push_back("JPC L" + std::to_string(L1));
+      compileStmts(N->child(1));
+      Code.push_back("JMP L" + std::to_string(L2));
+      Code.push_back("LAB L" + std::to_string(L1));
+      compileStmts(N->child(2));
+      Code.push_back("LAB L" + std::to_string(L2));
+      return;
+    }
+    if (Op == "WhileStmt") {
+      int64_t L1 = Lab, L2 = Lab + 1;
+      Lab += 2;
+      Code.push_back("LAB L" + std::to_string(L1));
+      int64_t Ty = compileExpr(N->child(0));
+      if (Ty != TyBool)
+        ++Errors;
+      Code.push_back("JPC L" + std::to_string(L2));
+      compileStmts(N->child(1));
+      Code.push_back("JMP L" + std::to_string(L1));
+      Code.push_back("LAB L" + std::to_string(L2));
+      return;
+    }
+    // Write
+    compileExpr(N->child(0));
+    Code.push_back("WRI");
+  }
+
+  int64_t compileExpr(const TreeNode *N) {
+    const std::string &Op = opName(N);
+    if (Op == "Num") {
+      Code.push_back("LIT " + std::to_string(N->Lexeme.asInt()));
+      return TyInt;
+    }
+    if (Op == "TrueLit") {
+      Code.push_back("LIT 1");
+      return TyBool;
+    }
+    if (Op == "FalseLit") {
+      Code.push_back("LIT 0");
+      return TyBool;
+    }
+    if (Op == "Ident") {
+      const std::string &Name = N->Lexeme.asString();
+      const Value *Found = Env.mapLookup(Name);
+      if (!Found)
+        ++Errors;
+      Code.push_back("LOD " + Name);
+      return Found ? Found->asInt() : TyErr;
+    }
+    int64_t L = compileExpr(N->child(0));
+    int64_t R = compileExpr(N->child(1));
+    if (Op == "Add" || Op == "Sub" || Op == "Mul") {
+      bool Ok = L == TyInt && R == TyInt;
+      if (!Ok)
+        ++Errors;
+      Code.push_back(Op == "Add" ? "ADD" : Op == "Sub" ? "SUB" : "MUL");
+      return Ok ? TyInt : TyErr;
+    }
+    if (Op == "Less") {
+      bool Ok = L == TyInt && R == TyInt;
+      if (!Ok)
+        ++Errors;
+      Code.push_back("LES");
+      return Ok ? TyBool : TyErr;
+    }
+    // Eq
+    bool Ok = L == R && L != TyErr;
+    if (!Ok)
+      ++Errors;
+    Code.push_back("EQU");
+    return Ok ? TyBool : TyErr;
+  }
+
+  const AttributeGrammar &AG;
+  Value Env = Value::emptyMap();
+  std::vector<std::string> Code;
+  int64_t Errors = 0;
+  int64_t Lab = 0;
+};
+
+} // namespace
+
+PCodeResult workloads::compileMiniPascalByHand(const AttributeGrammar &AG,
+                                               const TreeNode *Root) {
+  HandCompiler HC(AG);
+  return HC.run(Root);
+}
+
+namespace {
+
+/// The hand-written compiler over the semantic rules' own data structures:
+/// persistent environment maps and immutable code lists, concatenated as
+/// the rules concatenate them. The per-node logic mirrors the AG exactly.
+class HandCompilerSameData {
+public:
+  explicit HandCompilerSameData(const AttributeGrammar &AG) : AG(AG) {}
+
+  PCodeResult run(const TreeNode *Root) {
+    Value Env = Value::emptyMap();
+    int64_t Errors = 0;
+    declList(Root->child(0), Env, Errors);
+    int64_t Lab = 0;
+    Value Code = stmtList(Root->child(1), Env, Lab, Errors);
+    Code = cat(Code, instr("HLT"));
+    PCodeResult R;
+    for (const Value &I : Code.asList())
+      R.Code.push_back(I.asString());
+    R.Errors = Errors;
+    return R;
+  }
+
+private:
+  const std::string &opName(const TreeNode *N) const {
+    return AG.prod(N->Prod).Name;
+  }
+
+  void declList(const TreeNode *N, Value &Env, int64_t &Errors) {
+    if (opName(N) == "DeclNil")
+      return;
+    const TreeNode *D = N->child(0);
+    const std::string &Name = D->Lexeme.asString();
+    if (Env.mapLookup(Name))
+      ++Errors;
+    Env = Env.mapInsert(
+        Name, Value::ofInt(opName(D) == "VarInt" ? TyInt : TyBool));
+    declList(N->child(1), Env, Errors);
+  }
+
+  Value stmtList(const TreeNode *N, const Value &Env, int64_t &Lab,
+                 int64_t &Errors) {
+    if (opName(N) == "StmtNil")
+      return emptyCode();
+    Value Head = stmt(N->child(0), Env, Lab, Errors);
+    return cat(Head, stmtList(N->child(1), Env, Lab, Errors));
+  }
+
+  Value stmt(const TreeNode *N, const Value &Env, int64_t &Lab,
+             int64_t &Errors) {
+    const std::string &Op = opName(N);
+    if (Op == "Assign") {
+      int64_t Ty;
+      Value Code = expr(N->child(0), Env, Ty, Errors);
+      const std::string &Name = N->Lexeme.asString();
+      const Value *Declared = Env.mapLookup(Name);
+      if (!Declared || (Ty != TyErr && Declared->asInt() != Ty))
+        ++Errors;
+      return cat(Code, instr("STO " + Name));
+    }
+    if (Op == "IfStmt") {
+      int64_t L1 = Lab, L2 = Lab + 1;
+      Lab += 2;
+      int64_t Ty;
+      Value Code = expr(N->child(0), Env, Ty, Errors);
+      if (Ty != TyBool)
+        ++Errors;
+      Code = cat(Code, labInstr("JPC", L1));
+      Code = cat(Code, stmtList(N->child(1), Env, Lab, Errors));
+      Code = cat(Code, labInstr("JMP", L2));
+      Code = cat(Code, labInstr("LAB", L1));
+      Code = cat(Code, stmtList(N->child(2), Env, Lab, Errors));
+      return cat(Code, labInstr("LAB", L2));
+    }
+    if (Op == "WhileStmt") {
+      int64_t L1 = Lab, L2 = Lab + 1;
+      Lab += 2;
+      int64_t Ty;
+      Value Cond = expr(N->child(0), Env, Ty, Errors);
+      if (Ty != TyBool)
+        ++Errors;
+      Value Code = cat(labInstr("LAB", L1), Cond);
+      Code = cat(Code, labInstr("JPC", L2));
+      Code = cat(Code, stmtList(N->child(1), Env, Lab, Errors));
+      Code = cat(Code, labInstr("JMP", L1));
+      return cat(Code, labInstr("LAB", L2));
+    }
+    int64_t Ty;
+    Value Code = expr(N->child(0), Env, Ty, Errors);
+    return cat(Code, instr("WRI"));
+  }
+
+  Value expr(const TreeNode *N, const Value &Env, int64_t &Ty,
+             int64_t &Errors) {
+    const std::string &Op = opName(N);
+    if (Op == "Num") {
+      Ty = TyInt;
+      return instr("LIT " + std::to_string(N->Lexeme.asInt()));
+    }
+    if (Op == "TrueLit") {
+      Ty = TyBool;
+      return instr("LIT 1");
+    }
+    if (Op == "FalseLit") {
+      Ty = TyBool;
+      return instr("LIT 0");
+    }
+    if (Op == "Ident") {
+      const std::string &Name = N->Lexeme.asString();
+      const Value *Found = Env.mapLookup(Name);
+      if (!Found)
+        ++Errors;
+      Ty = Found ? Found->asInt() : TyErr;
+      return instr("LOD " + Name);
+    }
+    int64_t LT, RT;
+    Value Code = cat(expr(N->child(0), Env, LT, Errors),
+                     expr(N->child(1), Env, RT, Errors));
+    if (Op == "Add" || Op == "Sub" || Op == "Mul") {
+      bool Ok = LT == TyInt && RT == TyInt;
+      if (!Ok)
+        ++Errors;
+      Ty = Ok ? TyInt : TyErr;
+      return cat(Code,
+                 instr(Op == "Add" ? "ADD" : Op == "Sub" ? "SUB" : "MUL"));
+    }
+    if (Op == "Less") {
+      bool Ok = LT == TyInt && RT == TyInt;
+      if (!Ok)
+        ++Errors;
+      Ty = Ok ? TyBool : TyErr;
+      return cat(Code, instr("LES"));
+    }
+    bool Ok = LT == RT && LT != TyErr;
+    if (!Ok)
+      ++Errors;
+    Ty = Ok ? TyBool : TyErr;
+    return cat(Code, instr("EQU"));
+  }
+
+  const AttributeGrammar &AG;
+};
+
+} // namespace
+
+PCodeResult
+workloads::compileMiniPascalByHandSameData(const AttributeGrammar &AG,
+                                           const TreeNode *Root) {
+  HandCompilerSameData HC(AG);
+  return HC.run(Root);
+}
+
+PCodeResult workloads::pcodeFromTree(const AttributeGrammar &AG,
+                                     const Tree &T) {
+  PCodeResult R;
+  PhylumId Prog = AG.findPhylum("Prog");
+  AttrId Code = AG.findAttr(Prog, "code");
+  AttrId Errs = AG.findAttr(Prog, "errs");
+  const Value &CodeV = T.root()->AttrVals[AG.attr(Code).IndexInOwner];
+  for (const Value &I : CodeV.asList())
+    R.Code.push_back(I.asString());
+  R.Errors = T.root()->AttrVals[AG.attr(Errs).IndexInOwner].asInt();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Source parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class PascalParser {
+public:
+  PascalParser(const AttributeGrammar &AG, const std::string &Src,
+               DiagnosticEngine &Diags, Tree &T)
+      : AG(AG), Src(Src), Diags(Diags), T(T) {}
+
+  std::unique_ptr<TreeNode> parseProgram() {
+    auto Decls = parseDecls();
+    expectWord("begin");
+    auto Stmts = parseStmts();
+    expectWord("end");
+    if (!Ok)
+      return nullptr;
+    std::vector<std::unique_ptr<TreeNode>> Kids;
+    Kids.push_back(std::move(Decls));
+    Kids.push_back(std::move(Stmts));
+    return T.make(AG.findProd("Program"), std::move(Kids));
+  }
+
+  bool ok() const { return Ok; }
+
+private:
+  void skip() {
+    while (Pos < Src.size() &&
+           std::isspace(static_cast<unsigned char>(Src[Pos])))
+      ++Pos;
+  }
+  std::string peekWord() {
+    skip();
+    size_t P = Pos;
+    std::string W;
+    while (P < Src.size() &&
+           (std::isalnum(static_cast<unsigned char>(Src[P])) ||
+            Src[P] == '_'))
+      W += Src[P++];
+    return W;
+  }
+  std::string takeWord() {
+    std::string W = peekWord();
+    Pos += W.size();
+    return W;
+  }
+  bool acceptWord(const std::string &W) {
+    if (peekWord() != W)
+      return false;
+    takeWord();
+    return true;
+  }
+  void expectWord(const std::string &W) {
+    if (!acceptWord(W))
+      fail("expected '" + W + "'");
+  }
+  bool acceptChar(char C) {
+    skip();
+    if (Pos < Src.size() && Src[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  void expectChar(char C) {
+    if (!acceptChar(C))
+      fail(std::string("expected '") + C + "'");
+  }
+  void fail(const std::string &Msg) {
+    if (Ok)
+      Diags.error("mini-pascal: " + Msg + " at offset " +
+                  std::to_string(Pos));
+    Ok = false;
+  }
+  std::unique_ptr<TreeNode> leafS(const char *Op, const std::string &Lex) {
+    return T.makeLeaf(AG.findProd(Op), Value::ofString(Lex));
+  }
+  std::unique_ptr<TreeNode> node(const char *Op,
+                                 std::vector<std::unique_ptr<TreeNode>> Kids,
+                                 Value Lex = Value()) {
+    return T.make(AG.findProd(Op), std::move(Kids), std::move(Lex));
+  }
+
+  std::unique_ptr<TreeNode> parseDecls() {
+    if (peekWord() != "var" || !Ok)
+      return node("DeclNil", {});
+    takeWord();
+    std::string Name = takeWord();
+    expectChar(':');
+    std::string Ty = takeWord();
+    expectChar(';');
+    auto D = leafS(Ty == "bool" ? "VarBool" : "VarInt", Name);
+    auto Rest = parseDecls();
+    std::vector<std::unique_ptr<TreeNode>> Kids;
+    Kids.push_back(std::move(D));
+    Kids.push_back(std::move(Rest));
+    return node("DeclCons", std::move(Kids));
+  }
+
+  std::unique_ptr<TreeNode> parseStmts() {
+    std::string W = peekWord();
+    if (W == "end" || W.empty() || !Ok)
+      return node("StmtNil", {});
+    auto S = parseStmt();
+    expectChar(';');
+    if (!Ok || !S)
+      return node("StmtNil", {});
+    auto Rest = parseStmts();
+    std::vector<std::unique_ptr<TreeNode>> Kids;
+    Kids.push_back(std::move(S));
+    Kids.push_back(std::move(Rest));
+    return node("StmtCons", std::move(Kids));
+  }
+
+  std::unique_ptr<TreeNode> parseBlock() {
+    expectWord("begin");
+    auto S = parseStmts();
+    expectWord("end");
+    return S;
+  }
+
+  std::unique_ptr<TreeNode> parseStmt() {
+    std::string W = peekWord();
+    if (W == "if") {
+      takeWord();
+      auto Cond = parseExpr();
+      expectWord("then");
+      auto Then = parseBlock();
+      std::unique_ptr<TreeNode> Else;
+      if (acceptWord("else"))
+        Else = parseBlock();
+      else
+        Else = node("StmtNil", {});
+      if (!Ok)
+        return nullptr;
+      std::vector<std::unique_ptr<TreeNode>> Kids;
+      Kids.push_back(std::move(Cond));
+      Kids.push_back(std::move(Then));
+      Kids.push_back(std::move(Else));
+      return node("IfStmt", std::move(Kids));
+    }
+    if (W == "while") {
+      takeWord();
+      auto Cond = parseExpr();
+      expectWord("do");
+      auto Body = parseBlock();
+      if (!Ok)
+        return nullptr;
+      std::vector<std::unique_ptr<TreeNode>> Kids;
+      Kids.push_back(std::move(Cond));
+      Kids.push_back(std::move(Body));
+      return node("WhileStmt", std::move(Kids));
+    }
+    if (W == "write") {
+      takeWord();
+      auto E = parseExpr();
+      if (!Ok)
+        return nullptr;
+      std::vector<std::unique_ptr<TreeNode>> Kids;
+      Kids.push_back(std::move(E));
+      return node("Write", std::move(Kids));
+    }
+    // assignment: name := expr
+    std::string Name = takeWord();
+    if (Name.empty()) {
+      fail("expected a statement");
+      return nullptr;
+    }
+    skip();
+    if (!(acceptChar(':') && acceptChar('='))) {
+      fail("expected ':='");
+      return nullptr;
+    }
+    auto E = parseExpr();
+    if (!Ok)
+      return nullptr;
+    std::vector<std::unique_ptr<TreeNode>> Kids;
+    Kids.push_back(std::move(E));
+    return node("Assign", std::move(Kids), Value::ofString(Name));
+  }
+
+  std::unique_ptr<TreeNode> parseExpr() {
+    auto L = parseAdd();
+    skip();
+    if (Pos < Src.size() && (Src[Pos] == '<' || Src[Pos] == '=')) {
+      char Op = Src[Pos++];
+      auto R = parseAdd();
+      if (!Ok || !L || !R)
+        return L;
+      std::vector<std::unique_ptr<TreeNode>> Kids;
+      Kids.push_back(std::move(L));
+      Kids.push_back(std::move(R));
+      return node(Op == '<' ? "Less" : "Eq", std::move(Kids));
+    }
+    return L;
+  }
+
+  std::unique_ptr<TreeNode> parseAdd() {
+    auto L = parseMul();
+    while (Ok) {
+      skip();
+      if (Pos >= Src.size() || (Src[Pos] != '+' && Src[Pos] != '-'))
+        break;
+      char Op = Src[Pos++];
+      auto R = parseMul();
+      if (!L || !R)
+        break;
+      std::vector<std::unique_ptr<TreeNode>> Kids;
+      Kids.push_back(std::move(L));
+      Kids.push_back(std::move(R));
+      L = node(Op == '+' ? "Add" : "Sub", std::move(Kids));
+    }
+    return L;
+  }
+
+  std::unique_ptr<TreeNode> parseMul() {
+    auto L = parsePrim();
+    while (Ok) {
+      skip();
+      if (Pos >= Src.size() || Src[Pos] != '*')
+        break;
+      ++Pos;
+      auto R = parsePrim();
+      if (!L || !R)
+        break;
+      std::vector<std::unique_ptr<TreeNode>> Kids;
+      Kids.push_back(std::move(L));
+      Kids.push_back(std::move(R));
+      L = node("Mul", std::move(Kids));
+    }
+    return L;
+  }
+
+  std::unique_ptr<TreeNode> parsePrim() {
+    skip();
+    if (acceptChar('(')) {
+      auto E = parseExpr();
+      expectChar(')');
+      return E;
+    }
+    if (Pos < Src.size() &&
+        std::isdigit(static_cast<unsigned char>(Src[Pos]))) {
+      int64_t V = 0;
+      while (Pos < Src.size() &&
+             std::isdigit(static_cast<unsigned char>(Src[Pos])))
+        V = V * 10 + (Src[Pos++] - '0');
+      return T.makeLeaf(AG.findProd("Num"), Value::ofInt(V));
+    }
+    std::string W = takeWord();
+    if (W == "true")
+      return node("TrueLit", {});
+    if (W == "false")
+      return node("FalseLit", {});
+    if (W.empty()) {
+      fail("expected an expression");
+      return nullptr;
+    }
+    return leafS("Ident", W);
+  }
+
+  const AttributeGrammar &AG;
+  const std::string &Src;
+  DiagnosticEngine &Diags;
+  Tree &T;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+} // namespace
+
+Tree workloads::parseMiniPascal(const AttributeGrammar &AG,
+                                const std::string &Source,
+                                DiagnosticEngine &Diags) {
+  Tree T(AG);
+  PascalParser P(AG, Source, Diags, T);
+  auto Root = P.parseProgram();
+  if (Root && P.ok())
+    T.setRoot(std::move(Root));
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Source generator
+//===----------------------------------------------------------------------===//
+
+std::string workloads::generateMiniPascalSource(unsigned TargetStatements,
+                                                uint64_t Seed) {
+  uint64_t State = Seed ? Seed : 1;
+  auto rnd = [&]() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1DULL;
+  };
+
+  unsigned NumVars = 3 + rnd() % 5;
+  std::vector<std::string> IntVars, BoolVars;
+  std::string Out;
+  for (unsigned I = 0; I != NumVars; ++I) {
+    std::string Name = "v" + std::to_string(I);
+    bool IsBool = rnd() % 4 == 0;
+    Out += "var " + Name + ": " + (IsBool ? "bool" : "int") + ";\n";
+    (IsBool ? BoolVars : IntVars).push_back(Name);
+  }
+  if (IntVars.empty()) {
+    Out += "var vx: int;\n";
+    IntVars.push_back("vx");
+  }
+
+  auto intExpr = [&](auto &&Self, unsigned Depth) -> std::string {
+    if (Depth == 0 || rnd() % 3 == 0)
+      return rnd() % 2 ? IntVars[rnd() % IntVars.size()]
+                       : std::to_string(rnd() % 100);
+    const char *Ops[] = {" + ", " - ", " * "};
+    return "(" + Self(Self, Depth - 1) + Ops[rnd() % 3] +
+           Self(Self, Depth - 1) + ")";
+  };
+  auto boolExpr = [&](unsigned Depth) {
+    return intExpr(intExpr, Depth) + " < " + intExpr(intExpr, Depth);
+  };
+
+  unsigned Remaining = TargetStatements;
+  auto stmts = [&](auto &&Self, unsigned Depth, unsigned Budget)
+      -> std::string {
+    std::string S;
+    while (Budget > 0 && Remaining > 0) {
+      unsigned Kind = rnd() % 8;
+      if (Kind < 4 || Depth == 0) {
+        S += IntVars[rnd() % IntVars.size()] + " := " +
+             intExpr(intExpr, 2) + ";\n";
+        --Budget;
+        --Remaining;
+      } else if (Kind < 6) {
+        --Remaining;
+        unsigned Inner = std::min(Budget, 3u);
+        S += "if " + boolExpr(1) + " then begin\n" +
+             Self(Self, Depth - 1, Inner) + "end else begin\n" +
+             Self(Self, Depth - 1, Inner) + "end;\n";
+        Budget = Budget > Inner ? Budget - Inner : 0;
+      } else if (Kind == 6) {
+        --Remaining;
+        unsigned Inner = std::min(Budget, 3u);
+        S += "while " + boolExpr(1) + " do begin\n" +
+             Self(Self, Depth - 1, Inner) + "end;\n";
+        Budget = Budget > Inner ? Budget - Inner : 0;
+      } else {
+        S += "write " + intExpr(intExpr, 2) + ";\n";
+        --Budget;
+        --Remaining;
+      }
+    }
+    return S;
+  };
+
+  Out += "begin\n";
+  Out += stmts(stmts, 3, TargetStatements);
+  Out += "end\n";
+  return Out;
+}

@@ -1,0 +1,278 @@
+//===- workloads/SpecGen.cpp ----------------------------------------------===//
+
+#include "workloads/SpecGen.h"
+
+using namespace fnc2;
+using namespace fnc2::workloads;
+
+namespace {
+
+/// Small deterministic PRNG (xorshift64*).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 1) {}
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1DULL;
+  }
+  unsigned below(unsigned N) { return static_cast<unsigned>(next() % N); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace
+
+std::string workloads::generateMolgaModule(const std::string &Name,
+                                           unsigned Funs, uint64_t Seed) {
+  Rng R(Seed);
+  std::string Out = "-- generated module (" + std::to_string(Funs) +
+                    " functions, seed " + std::to_string(Seed) + ")\n";
+  Out += "module " + Name + "\n";
+  Out += "  const base_" + Name + " : int = " + std::to_string(R.below(97)) +
+         "\n";
+  for (unsigned I = 0; I != Funs; ++I) {
+    std::string F = Name + "_f" + std::to_string(I);
+    switch (I % 5) {
+    case 0:
+      Out += "  fun " + F + "(x: int): int = x * " +
+             std::to_string(1 + R.below(9)) + " + " +
+             std::to_string(R.below(50)) + "\n";
+      break;
+    case 1:
+      Out += "  fun " + F + "(x: int, y: int): int = if x < y then x + " +
+             std::to_string(R.below(10)) + " else y - " +
+             std::to_string(R.below(10)) + "\n";
+      break;
+    case 2:
+      Out += "  fun " + F + "(n: int): int = match n % 4 with\n";
+      Out += "    | 0 -> n + " + std::to_string(R.below(20)) + "\n";
+      Out += "    | 1 -> n * 2\n";
+      Out += "    | 2 -> " + std::to_string(R.below(100)) + "\n";
+      Out += "    | _ -> n\n    end\n";
+      break;
+    case 3:
+      // Tail-recursive accumulator loop.
+      Out += "  fun " + F + "(n: int, acc: int): int =\n";
+      Out += "    if n <= 0 then acc else " + F + "(n - 1, acc + n)\n";
+      break;
+    case 4:
+      // Calls an earlier function for inter-procedural typing work.
+      if (I >= 5) {
+        Out += "  fun " + F + "(x: int): int = " + Name + "_f" +
+               std::to_string(I - 5) + "(x) + base_" + Name + "\n";
+      } else {
+        Out += "  fun " + F + "(x: int): int = max(x, base_" + Name + ")\n";
+      }
+      break;
+    }
+  }
+  Out += "end\n";
+  return Out;
+}
+
+std::string workloads::generateMolgaSpec(const SpecGenOptions &Opts) {
+  Rng R(Opts.Seed);
+  unsigned Pairs = Opts.AttrPairs;
+  if (Opts.ClassShape == SpecGenOptions::Shape::Oag1 && Pairs < 2)
+    Pairs = 2;
+  if (Opts.ClassShape == SpecGenOptions::Shape::Dnc && Pairs < 3)
+    Pairs = 3;
+
+  std::string Lib = Opts.Name + "Lib";
+  std::string Out = generateMolgaModule(Lib, Opts.Funs, Opts.Seed ^ 0x5bd1);
+  Out += "\n";
+  Out += "grammar " + Opts.Name + "\n";
+  Out += "  import " + Lib + "\n";
+  Out += "  phylum Root root\n";
+  for (unsigned P = 1; P <= Opts.Phyla; ++P)
+    Out += "  phylum P" + std::to_string(P) + "\n";
+  Out += "  attr Root syn out : int\n";
+  for (unsigned P = 1; P <= Opts.Phyla; ++P)
+    for (unsigned K = 1; K <= Pairs; ++K) {
+      Out += "  attr P" + std::to_string(P) + " inh h" + std::to_string(K) +
+             " : int\n";
+      Out += "  attr P" + std::to_string(P) + " syn s" + std::to_string(K) +
+             " : int\n";
+    }
+
+  // Root operator: seed every inherited attribute, collect s1.
+  Out += "  operator Top(c: P1) -> Root\n";
+  Out += "  rules for Top\n";
+  for (unsigned K = 1; K <= Pairs; ++K)
+    Out += "    c.h" + std::to_string(K) + " := " + std::to_string(K) + "\n";
+  Out += "    Root.out := c.s1\n";
+  Out += "  end\n";
+
+  // Class-shape injection: sibling conflicts on the root over a dedicated
+  // phylum CX that only has a leaf operator, so the repair that splits its
+  // partition does not cascade into the main phyla (mirroring the classic
+  // grammars of workloads/ClassicGrammars.h).
+  if (Opts.ClassShape != SpecGenOptions::Shape::Oag0) {
+    Out += "  phylum CX\n";
+    for (unsigned K = 1; K <= Pairs; ++K) {
+      Out += "  attr CX inh ch" + std::to_string(K) + " : int\n";
+      Out += "  attr CX syn cs" + std::to_string(K) + " : int\n";
+    }
+    Out += "  operator LeafCX() -> CX\n";
+    Out += "  rules for LeafCX\n";
+    for (unsigned K = 1; K <= Pairs; ++K)
+      Out += "    CX.cs" + std::to_string(K) + " := CX.ch" +
+             std::to_string(K) + " + 1\n";
+    Out += "  end\n";
+
+    auto conflict = [&](const std::string &OpName, unsigned A, unsigned B) {
+      Out += "  operator " + OpName + "(a: CX, b: CX) -> Root\n";
+      Out += "  rules for " + OpName + "\n";
+      Out += "    a.ch" + std::to_string(A) + " := 10\n";
+      Out += "    b.ch" + std::to_string(A) + " := " + Lib + "_f0(a.cs" +
+             std::to_string(A) + ")\n";
+      Out += "    b.ch" + std::to_string(B) + " := 20\n";
+      Out += "    a.ch" + std::to_string(B) + " := " + Lib + "_f0(b.cs" +
+             std::to_string(B) + ")\n";
+      for (unsigned K = 1; K <= Pairs; ++K)
+        if (K != A && K != B) {
+          Out += "    a.ch" + std::to_string(K) + " := 0\n";
+          Out += "    b.ch" + std::to_string(K) + " := 0\n";
+        }
+      Out += "    Root.out := a.cs" + std::to_string(B) + " + b.cs" +
+             std::to_string(A) + "\n";
+      Out += "  end\n";
+    };
+    if (Opts.ClassShape == SpecGenOptions::Shape::Oag1) {
+      conflict("Conflict12", 1, 2);
+    } else {
+      conflict("Conflict12", 1, 2);
+      conflict("Conflict23", 2, 3);
+      conflict("Conflict31", 3, 1);
+    }
+  }
+
+  // Per phylum: one leaf plus internal operators; inherited attributes
+  // broadcast via automatic copy rules, synthesized ones combine the sons.
+  for (unsigned P = 1; P <= Opts.Phyla; ++P) {
+    std::string Py = "P" + std::to_string(P);
+    Out += "  operator Leaf" + std::to_string(P) + "() -> " + Py +
+           " lexeme int\n";
+    Out += "  rules for Leaf" + std::to_string(P) + "\n";
+    for (unsigned K = 1; K <= Pairs; ++K) {
+      // Only the 1-argument library shapes (templates 0 and 2) are safe to
+      // call here.
+      unsigned FnIdx = (Opts.Funs >= 3 && R.below(2) == 1) ? 2 : 0;
+      Out += "    " + Py + ".s" + std::to_string(K) + " := " + Lib + "_f" +
+             std::to_string(FnIdx) + "(" + Py + ".h" + std::to_string(K) +
+             ") + lexeme\n";
+    }
+    Out += "  end\n";
+
+    for (unsigned O = 1; O < Opts.OperatorsPerPhylum; ++O) {
+      unsigned Arity = 1 + R.below(2);
+      std::string OpName = "Op" + std::to_string(P) + "_" + std::to_string(O);
+      Out += "  operator " + OpName + "(";
+      std::vector<unsigned> Kids;
+      for (unsigned C = 0; C != Arity; ++C) {
+        unsigned Child = 1 + R.below(Opts.Phyla);
+        Kids.push_back(Child);
+        if (C)
+          Out += ", ";
+        Out += "k" + std::to_string(C) + ": P" + std::to_string(Child);
+      }
+      Out += ") -> " + Py + "\n";
+      Out += "  rules for " + OpName + "\n";
+      for (unsigned K = 1; K <= Pairs; ++K) {
+        // Synthesized: combine the sons' pair-K results with our own input.
+        Out += "    " + Py + ".s" + std::to_string(K) + " := (";
+        for (unsigned C = 0; C != Arity; ++C) {
+          if (C)
+            Out += " + ";
+          Out += "k" + std::to_string(C) + ".s" + std::to_string(K);
+        }
+        Out += ") % 1000003 + " + Py + ".h" + std::to_string(K) + "\n";
+      }
+      Out += "  end\n";
+    }
+  }
+  Out += "end\n";
+  return Out;
+}
+
+std::vector<SystemAg> workloads::systemAgSuite() {
+  std::vector<SystemAg> Suite;
+  auto add = [&](const char *Name, const char *Role, SpecGenOptions Opts,
+                 unsigned OagK) {
+    SystemAg Ag;
+    Ag.Name = Name;
+    Ag.Role = Role;
+    Opts.Name = std::string(Name).substr(0, 3) + "g"; // short grammar name
+    // Make the grammar name a legal identifier distinct per AG.
+    Opts.Name = "G";
+    Opts.Name += Name[2];
+    Ag.Source = generateMolgaSpec(Opts);
+    Ag.OagK = OagK;
+    Suite.push_back(std::move(Ag));
+  };
+
+  SpecGenOptions O;
+
+  O = SpecGenOptions();
+  O.Phyla = 7;
+  O.OperatorsPerPhylum = 3;
+  O.AttrPairs = 1;
+  O.Funs = 5;
+  O.Seed = 101;
+  add("AG1", "module dependency graph construction (mkfnc2)", O, 0);
+
+  O = SpecGenOptions();
+  O.Phyla = 12;
+  O.OperatorsPerPhylum = 3;
+  O.AttrPairs = 2;
+  O.Funs = 6;
+  O.Seed = 202;
+  add("AG2", "well-definedness test of an asx specification", O, 0);
+
+  O = SpecGenOptions();
+  O.Phyla = 18;
+  O.OperatorsPerPhylum = 4;
+  O.AttrPairs = 2;
+  O.Funs = 8;
+  O.Seed = 303;
+  add("AG3", "translation to C of the tree-construction part of aic", O, 0);
+
+  O = SpecGenOptions();
+  O.Phyla = 22;
+  O.OperatorsPerPhylum = 4;
+  O.AttrPairs = 2;
+  O.Funs = 10;
+  O.Seed = 404;
+  add("AG4", "type-checking of the tree-construction part of aic", O, 0);
+
+  O = SpecGenOptions();
+  O.Phyla = 60;
+  O.OperatorsPerPhylum = 5;
+  O.AttrPairs = 3;
+  O.Funs = 16;
+  O.ClassShape = SpecGenOptions::Shape::Dnc;
+  O.Seed = 505;
+  add("AG5", "type-checking and well-definedness of molga (largest)", O, 0);
+
+  O = SpecGenOptions();
+  O.Phyla = 12;
+  O.OperatorsPerPhylum = 4;
+  O.AttrPairs = 1;
+  O.Funs = 10;
+  O.Seed = 606;
+  add("AG6", "tail-recursion test for molga functions", O, 0);
+
+  O = SpecGenOptions();
+  O.Phyla = 26;
+  O.OperatorsPerPhylum = 4;
+  O.AttrPairs = 2;
+  O.Funs = 12;
+  O.ClassShape = SpecGenOptions::Shape::Oag1;
+  O.Seed = 707;
+  add("AG7", "translation to C of the non-AG parts of molga", O, 1);
+
+  return Suite;
+}

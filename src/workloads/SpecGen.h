@@ -1,0 +1,64 @@
+//===- workloads/SpecGen.h - Synthetic molga specifications -----*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generation of well-typed molga sources. The paper's
+/// evaluation runs the system on its own bootstrapped sources (Tables 1-3);
+/// those no longer exist, so this generator synthesizes specifications with
+/// controlled size (line count, phylum/operator/attribute counts) and
+/// controlled AG class: the grammar skeleton is OAG(0) by construction, and
+/// the Shape option injects the sibling-conflict patterns that demote the
+/// class to OAG(1) or DNC (see workloads/ClassicGrammars.h).
+///
+/// systemAgSuite() instantiates the seven analogues of the paper's AGs 1-7:
+/// module-dependency construction (mkfnc2), asx well-definedness, tree-
+/// constructor translation and typing (aic), molga type-checking (the
+/// largest, class DNC), the tail-recursion test, and the C translation of
+/// non-AG parts (class OAG(1), "found by trial and error").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_WORKLOADS_SPECGEN_H
+#define FNC2_WORKLOADS_SPECGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fnc2::workloads {
+
+struct SpecGenOptions {
+  std::string Name = "Gen";
+  unsigned Phyla = 8;            ///< Nonterminals besides the root.
+  unsigned OperatorsPerPhylum = 3;
+  unsigned AttrPairs = 1;        ///< Inherited/synthesized pairs per phylum.
+  unsigned Funs = 6;             ///< Library functions in the module.
+  enum class Shape : uint8_t { Oag0, Oag1, Dnc } ClassShape = Shape::Oag0;
+  uint64_t Seed = 1;
+};
+
+/// Generates a self-contained compilation unit (one module + one grammar).
+std::string generateMolgaSpec(const SpecGenOptions &Opts);
+
+/// Generates a pure module (Table 3's C/F rows) with \p Funs functions of
+/// mixed shapes (arithmetic, conditionals, matches, recursion).
+std::string generateMolgaModule(const std::string &Name, unsigned Funs,
+                                uint64_t Seed);
+
+/// One of the seven system-AG analogues.
+struct SystemAg {
+  std::string Name;     ///< e.g. "AG1-moddep".
+  std::string Role;     ///< What the paper's AG did.
+  std::string Source;   ///< molga text.
+  unsigned OagK = 0;    ///< Repair budget the generator should use.
+};
+
+/// The Table 1 workload suite (AG1..AG7).
+std::vector<SystemAg> systemAgSuite();
+
+} // namespace fnc2::workloads
+
+#endif // FNC2_WORKLOADS_SPECGEN_H

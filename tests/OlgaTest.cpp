@@ -1,0 +1,483 @@
+//===- tests/OlgaTest.cpp - molga front-end tests -------------------------===//
+
+#include "fnc2/Generator.h"
+#include "eval/Evaluator.h"
+#include "olga/Driver.h"
+#include "olga/ExprEval.h"
+#include "olga/Parser.h"
+#include "tree/Tree.h"
+
+#include <gtest/gtest.h>
+
+using namespace fnc2;
+using namespace fnc2::olga;
+
+namespace {
+
+/// A complete calculator specification used by several tests.
+const char *CalcSource = R"molga(
+module Lib
+  type env = map
+  const zero : int = 0
+  fun bind(e: env, n: string, v: int): env = insert(e, n, v)
+  fun find(e: env, n: string): int = lookup(e, n, zero)
+end
+
+grammar Calc
+  import Lib
+  phylum Prog root
+  phylum Exp
+  attr Prog syn result : int
+  attr Exp inh env : map
+  attr Exp syn val : int
+
+  operator Top(e: Exp) -> Prog
+  operator Num() -> Exp lexeme int
+  operator Var() -> Exp lexeme string
+  operator Add(l: Exp, r: Exp) -> Exp
+  operator Mul(l: Exp, r: Exp) -> Exp
+  operator Let(b: Exp, body: Exp) -> Exp lexeme string
+
+  rules for Top
+    e.env := emptymap()
+    Prog.result := e.val
+  end
+  rules for Num
+    Exp.val := lexeme
+  end
+  rules for Var
+    Exp.val := find(Exp.env, lexeme)
+  end
+  rules for Add
+    Exp.val := l.val + r.val
+  end
+  rules for Mul
+    Exp.val := l.val * r.val
+  end
+  rules for Let
+    body.env := bind(Exp.env, lexeme, b.val)
+    Exp.val := body.val
+  end
+end
+)molga";
+
+TEST(LexerTest, TokenizesBasics) {
+  DiagnosticEngine D;
+  auto Toks = tokenize("fun f(x: int): int = x + 1 -- comment\n", D);
+  ASSERT_FALSE(D.hasErrors()) << D.dump();
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwFun);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[1].Text, "f");
+  EXPECT_EQ(Toks.back().Kind, TokKind::Eof);
+  // The comment disappears entirely.
+  for (const Token &T : Toks)
+    EXPECT_NE(T.Text, "comment");
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  DiagnosticEngine D;
+  auto Toks = tokenize(":= -> <> <= >= < > =", D);
+  ASSERT_FALSE(D.hasErrors());
+  EXPECT_EQ(Toks[0].Kind, TokKind::Assign);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Arrow);
+  EXPECT_EQ(Toks[2].Kind, TokKind::NotEqual);
+  EXPECT_EQ(Toks[3].Kind, TokKind::LessEq);
+  EXPECT_EQ(Toks[4].Kind, TokKind::GreaterEq);
+  EXPECT_EQ(Toks[5].Kind, TokKind::Less);
+  EXPECT_EQ(Toks[6].Kind, TokKind::Greater);
+  EXPECT_EQ(Toks[7].Kind, TokKind::Equal);
+}
+
+TEST(LexerTest, StringEscapesAndErrors) {
+  DiagnosticEngine D;
+  auto Toks = tokenize("\"a\\nb\"", D);
+  ASSERT_FALSE(D.hasErrors());
+  EXPECT_EQ(Toks[0].Text, "a\nb");
+
+  DiagnosticEngine D2;
+  tokenize("\"unterminated", D2);
+  EXPECT_TRUE(D2.hasErrors());
+
+  DiagnosticEngine D3;
+  tokenize("@", D3);
+  EXPECT_TRUE(D3.hasErrors());
+}
+
+TEST(LexerTest, TracksLocations) {
+  DiagnosticEngine D;
+  auto Toks = tokenize("a\n  b", D);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Column, 3u);
+}
+
+TEST(ParserTest, ParsesCalcUnit) {
+  DiagnosticEngine D;
+  CompilationUnit Unit = parseUnit(CalcSource, D);
+  ASSERT_FALSE(D.hasErrors()) << D.dump();
+  ASSERT_EQ(Unit.Modules.size(), 1u);
+  ASSERT_EQ(Unit.Grammars.size(), 1u);
+  EXPECT_EQ(Unit.Modules[0].Funs.size(), 2u);
+  EXPECT_EQ(Unit.Modules[0].Consts.size(), 1u);
+  EXPECT_EQ(Unit.Grammars[0].Operators.size(), 6u);
+  EXPECT_EQ(Unit.Grammars[0].Rules.size(), 6u);
+  EXPECT_TRUE(Unit.Grammars[0].Phyla[0].IsRoot);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  DiagnosticEngine D;
+  CompilationUnit U =
+      parseUnit("module M fun f(x: int): int = 1 + x * 2 end", D);
+  ASSERT_FALSE(D.hasErrors()) << D.dump();
+  const Expr &Body = *U.Modules[0].Funs[0].Body;
+  ASSERT_EQ(Body.Kind, ExprKind::Binary);
+  EXPECT_EQ(Body.Name, "+");
+  EXPECT_EQ(Body.Children[1]->Kind, ExprKind::Binary);
+  EXPECT_EQ(Body.Children[1]->Name, "*");
+}
+
+TEST(ParserTest, MatchAndLet) {
+  DiagnosticEngine D;
+  CompilationUnit U = parseUnit(
+      "module M fun f(x: int): int = let y = x + 1 in "
+      "match y with | 0 -> 10 | 1 -> 11 | n -> n end end", D);
+  ASSERT_FALSE(D.hasErrors()) << D.dump();
+  const Expr &Body = *U.Modules[0].Funs[0].Body;
+  ASSERT_EQ(Body.Kind, ExprKind::Let);
+  ASSERT_EQ(Body.Children[1]->Kind, ExprKind::Match);
+  EXPECT_EQ(Body.Children[1]->Arms.size(), 3u);
+  EXPECT_EQ(Body.Children[1]->Arms[2].Kind, MatchArm::PatKind::Bind);
+}
+
+TEST(ParserTest, ReportsSyntaxErrors) {
+  const char *Broken[] = {
+      "module",                       // missing name
+      "grammar G phylum end",         // missing phylum name
+      "module M fun f() = 1 end",     // missing return type
+      "module M fun f(): int = end",  // missing body
+      "grammar G rules for end end",  // missing operator name
+  };
+  for (const char *Src : Broken) {
+    DiagnosticEngine D;
+    parseUnit(Src, D);
+    EXPECT_TRUE(D.hasErrors()) << Src;
+  }
+}
+
+TEST(SemaTest, ChecksCalc) {
+  DiagnosticEngine D;
+  auto Prog = checkUnit(parseUnit(CalcSource, D), D);
+  EXPECT_FALSE(D.hasErrors()) << D.dump();
+  EXPECT_TRUE(Prog->Funs.count("bind"));
+  EXPECT_TRUE(Prog->Consts.count("zero"));
+  EXPECT_EQ(Prog->Consts.at("zero").second.asInt(), 0);
+  EXPECT_TRUE(Prog->Aliases.count("env"));
+}
+
+TEST(SemaTest, TypeErrors) {
+  struct Case {
+    const char *Source;
+    const char *Expected;
+  } Cases[] = {
+      {"module M fun f(): int = true end", "declared to return int"},
+      {"module M fun f(): int = 1 + \"a\" end", "integer operands"},
+      {"module M fun f(): bool = 1 and true end", "boolean operands"},
+      {"module M fun f(): int = g(1) end", "unknown function"},
+      {"module M fun f(x: int): int = if x then 1 else 2 end",
+       "condition must be boolean"},
+      {"module M fun f(): int = if true then 1 else \"a\" end",
+       "incompatible types"},
+      {"module M fun f(): int = y end", "unknown name"},
+      {"module M fun f(): int = min(1) end", "expects 2 arguments"},
+      {"module M fun f(): string = lookup(emptymap(), \"k\", 7) end",
+       "declared to return string"},
+      {"module M import Nowhere end", "unknown module"},
+      {"module M fun f(): int = 1 end module M2 fun f(): int = 2 end",
+       "duplicate function"},
+  };
+  for (const auto &C : Cases) {
+    DiagnosticEngine D;
+    checkUnit(parseUnit(C.Source, D), D);
+    EXPECT_TRUE(D.hasErrors()) << C.Source;
+    EXPECT_NE(D.dump().find(C.Expected), std::string::npos)
+        << C.Source << "\n" << D.dump();
+  }
+}
+
+TEST(SemaTest, GrammarErrors) {
+  struct Case {
+    const char *Source;
+    const char *Expected;
+  } Cases[] = {
+      {"grammar G phylum A root phylum A operator L() -> A end",
+       "duplicate phylum"},
+      {"grammar G phylum A operator L() -> A end", "exactly one root"},
+      {"grammar G phylum A root attr B syn x : int operator L() -> A end",
+       "unknown phylum"},
+      {"grammar G phylum A root operator L() -> B end",
+       "produces unknown phylum"},
+      {"grammar G phylum A root attr A syn s : int operator L() -> A "
+       "rules for L A.s := lexeme end end",
+       "has no lexeme"},
+      {"grammar G phylum A root attr A inh h : int operator L() -> A "
+       "rules for L A.h := 1 end end",
+       "cannot define inherited"},
+      {"grammar G phylum A root attr A syn s : int "
+       "operator W(c: A) -> A operator L() -> A "
+       "rules for W c.s := 1 end rules for L A.s := 1 end end",
+       "cannot define synthesized"},
+      {"grammar G phylum A root attr A syn s : int operator L() -> A "
+       "rules for L A.s := A.nope end end",
+       "no attribute 'nope'"},
+      {"grammar G phylum A root attr A syn s : bool operator L() -> A "
+       "rules for L A.s := 3 end end",
+       "with a value of type int"},
+      {"grammar G phylum A root attr A syn s : int operator L() -> A "
+       "rules for L t := 3 end end",
+       "undeclared local"},
+  };
+  for (const auto &C : Cases) {
+    DiagnosticEngine D;
+    checkUnit(parseUnit(C.Source, D), D);
+    EXPECT_TRUE(D.hasErrors()) << C.Source;
+    EXPECT_NE(D.dump().find(C.Expected), std::string::npos)
+        << C.Source << "\n" << D.dump();
+  }
+}
+
+TEST(SemaTest, ImportVisibilityEnforced) {
+  const char *Src = R"molga(
+module Hidden fun secret(): int = 42 end
+grammar G
+  phylum A root
+  attr A syn s : int
+  operator L() -> A
+  rules for L A.s := secret() end
+end
+)molga";
+  DiagnosticEngine D;
+  checkUnit(parseUnit(Src, D), D);
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_NE(D.dump().find("does not import"), std::string::npos) << D.dump();
+}
+
+TEST(DriverTest, EndToEndCalcEvaluation) {
+  DiagnosticEngine D;
+  CompileResult R = compileMolga(CalcSource, D);
+  ASSERT_TRUE(R.Success) << D.dump();
+  ASSERT_EQ(R.Grammars.size(), 1u);
+  const LoweredGrammar &LG = *R.grammar("Calc");
+
+  // The lowered grammar goes through the full generator and evaluates.
+  DiagnosticEngine GD;
+  GeneratedEvaluator GE = generateEvaluator(LG.AG, GD);
+  ASSERT_TRUE(GE.Success) << GD.dump();
+  EXPECT_EQ(GE.Classes.className(), "OAG(0)");
+
+  Evaluator E(GE.Plan);
+  DiagnosticEngine TD;
+  Tree T = readTerm(
+      LG.AG, "Top(Let<\"x\">(Num<6>,Mul(Var<\"x\">,Add(Var<\"x\">,Num<1>))))",
+      TD);
+  ASSERT_FALSE(TD.hasErrors()) << TD.dump();
+  ASSERT_TRUE(E.evaluate(T, TD)) << TD.dump();
+  PhylumId Prog = LG.AG.findPhylum("Prog");
+  AttrId Result = LG.AG.findAttr(Prog, "result");
+  EXPECT_EQ(T.root()->AttrVals[LG.AG.attr(Result).IndexInOwner].asInt(),
+            6 * (6 + 1));
+  EXPECT_FALSE(LG.RuntimeDiags->hasErrors()) << LG.RuntimeDiags->dump();
+}
+
+TEST(DriverTest, AutoCopyGeneratesEnvBroadcast) {
+  DiagnosticEngine D;
+  CompileResult R = compileMolga(CalcSource, D);
+  ASSERT_TRUE(R.Success) << D.dump();
+  const AttributeGrammar &AG = R.Grammars[0].AG;
+  unsigned AutoCopies = 0;
+  for (const SemanticRule &Rule : AG.Rules)
+    AutoCopies += Rule.IsAutoGenerated;
+  // Add/Mul sons and Let's bound son get their env by auto-copy.
+  EXPECT_GE(AutoCopies, 5u);
+}
+
+TEST(DriverTest, LocalAttributesLowerAndEvaluate) {
+  const char *Src = R"molga(
+grammar L
+  phylum A root
+  attr A syn s : int
+  operator Leaf() -> A lexeme int
+  rules for Leaf
+    local twice : int := lexeme + lexeme
+    A.s := twice * 3
+  end
+end
+)molga";
+  DiagnosticEngine D;
+  CompileResult R = compileMolga(Src, D);
+  ASSERT_TRUE(R.Success) << D.dump();
+  DiagnosticEngine GD;
+  GeneratedEvaluator GE = generateEvaluator(R.Grammars[0].AG, GD);
+  ASSERT_TRUE(GE.Success) << GD.dump();
+  Evaluator E(GE.Plan);
+  DiagnosticEngine TD;
+  Tree T = readTerm(R.Grammars[0].AG, "Leaf<7>", TD);
+  ASSERT_TRUE(E.evaluate(T, TD)) << TD.dump();
+  EXPECT_EQ(T.root()->AttrVals[0].asInt(), (7 + 7) * 3);
+}
+
+TEST(DriverTest, MatchEvaluates) {
+  const char *Src = R"molga(
+grammar M
+  phylum A root
+  attr A syn s : string
+  operator Leaf() -> A lexeme int
+  rules for Leaf
+    A.s := match lexeme with
+           | 0 -> "zero"
+           | 1 -> "one"
+           | 2 -> "two"
+           | n -> "many(" ^ tostr(n) ^ ")"
+           end
+  end
+end
+)molga";
+  DiagnosticEngine D;
+  CompileResult R = compileMolga(Src, D);
+  ASSERT_TRUE(R.Success) << D.dump();
+  DiagnosticEngine GD;
+  GeneratedEvaluator GE = generateEvaluator(R.Grammars[0].AG, GD);
+  ASSERT_TRUE(GE.Success) << GD.dump();
+  Evaluator E(GE.Plan);
+
+  struct Case {
+    int Lex;
+    const char *Expected;
+  } Cases[] = {{0, "zero"}, {1, "one"}, {2, "two"}, {9, "many(9)"}};
+  for (const auto &C : Cases) {
+    DiagnosticEngine TD;
+    Tree T = readTerm(R.Grammars[0].AG,
+                      "Leaf<" + std::to_string(C.Lex) + ">", TD);
+    ASSERT_TRUE(E.evaluate(T, TD)) << TD.dump();
+    EXPECT_EQ(T.root()->AttrVals[0].asString(), C.Expected);
+  }
+}
+
+TEST(OptimizerTest, FoldsConstants) {
+  DiagnosticEngine D;
+  CompileResult R = compileMolga(
+      "module M fun f(): int = 2 * 3 + 4 fun g(): bool = not true end", D);
+  ASSERT_TRUE(R.Success) << D.dump();
+  EXPECT_GE(R.Optimizer.ConstantsFolded, 2u);
+  // f's body is now a literal 10.
+  const Expr &Body = *R.Prog->Unit.Modules[0].Funs[0].Body;
+  EXPECT_EQ(Body.Kind, ExprKind::IntLit);
+  EXPECT_EQ(Body.IntValue, 10);
+}
+
+TEST(OptimizerTest, FoldsIfWithConstantCondition) {
+  DiagnosticEngine D;
+  CompileResult R = compileMolga(
+      "module M fun f(x: int): int = if 1 < 2 then x else x * 100 end", D);
+  ASSERT_TRUE(R.Success) << D.dump();
+  const Expr &Body = *R.Prog->Unit.Modules[0].Funs[0].Body;
+  EXPECT_EQ(Body.Kind, ExprKind::Name) << "if-folding selected the branch";
+}
+
+TEST(OptimizerTest, DetectsTailRecursion) {
+  const char *Src = R"molga(
+module M
+  fun countdown(n: int, acc: int): int =
+    if n <= 0 then acc else countdown(n - 1, acc + n)
+  fun slowsum(n: int): int =
+    if n <= 0 then 0 else n + slowsum(n - 1)
+  fun plain(x: int): int = x + 1
+end
+)molga";
+  DiagnosticEngine D;
+  CompileResult R = compileMolga(Src, D);
+  ASSERT_TRUE(R.Success) << D.dump();
+  EXPECT_EQ(R.Optimizer.FunsAnalyzed, 3u);
+  EXPECT_EQ(R.Optimizer.TailRecursiveFuns, 1u);
+  EXPECT_TRUE(R.Prog->Unit.Modules[0].Funs[0].TailRecursive);
+  EXPECT_FALSE(R.Prog->Unit.Modules[0].Funs[1].TailRecursive);
+  EXPECT_FALSE(R.Prog->Unit.Modules[0].Funs[2].TailRecursive);
+}
+
+TEST(OptimizerTest, CompilesLiteralMatches) {
+  DiagnosticEngine D;
+  CompileResult R = compileMolga(
+      "module M fun f(x: int): int = match x with | 5 -> 50 | 1 -> 10 "
+      "| 3 -> 30 | _ -> 0 end end", D);
+  ASSERT_TRUE(R.Success) << D.dump();
+  EXPECT_EQ(R.Optimizer.MatchesCompiled, 1u);
+  // Arms got sorted for binary-search dispatch.
+  const Expr &Body = *R.Prog->Unit.Modules[0].Funs[0].Body;
+  ASSERT_EQ(Body.Kind, ExprKind::Match);
+  EXPECT_EQ(Body.Arms[0].IntValue, 1);
+  EXPECT_EQ(Body.Arms[1].IntValue, 3);
+  EXPECT_EQ(Body.Arms[2].IntValue, 5);
+  EXPECT_EQ(Body.Arms[3].Kind, MatchArm::PatKind::Wild);
+}
+
+TEST(ExprEvalTest, RecursiveFunctions) {
+  DiagnosticEngine D;
+  CompileResult R = compileMolga(
+      "module M fun fib(n: int): int = "
+      "if n < 2 then n else fib(n - 1) + fib(n - 2) end", D);
+  ASSERT_TRUE(R.Success) << D.dump();
+  EvalContext Ctx;
+  Ctx.Prog = R.Prog.get();
+  Expr Call;
+  Call.Kind = ExprKind::Call;
+  Call.Name = "fib";
+  auto Arg = std::make_unique<Expr>();
+  Arg->Kind = ExprKind::IntLit;
+  Arg->IntValue = 12;
+  Call.Children.push_back(std::move(Arg));
+  DiagnosticEngine ED;
+  Value V = evalExpr(Call, Ctx, ED);
+  ASSERT_FALSE(ED.hasErrors()) << ED.dump();
+  EXPECT_EQ(V.asInt(), 144);
+}
+
+TEST(ExprEvalTest, FuelStopsRunawayRecursion) {
+  DiagnosticEngine D;
+  CompileResult R = compileMolga(
+      "module M fun loop(n: int): int = loop(n + 1) end", D);
+  ASSERT_TRUE(R.Success) << D.dump();
+  EvalContext Ctx;
+  Ctx.Prog = R.Prog.get();
+  Ctx.Fuel = 10000;
+  Expr Call;
+  Call.Kind = ExprKind::Call;
+  Call.Name = "loop";
+  auto Arg = std::make_unique<Expr>();
+  Arg->Kind = ExprKind::IntLit;
+  Call.Children.push_back(std::move(Arg));
+  DiagnosticEngine ED;
+  evalExpr(Call, Ctx, ED);
+  EXPECT_TRUE(ED.hasErrors());
+  EXPECT_NE(ED.dump().find("fuel"), std::string::npos);
+}
+
+TEST(DriverTest, WellDefinednessCaught) {
+  // val of Add's result is never defined: the AG core reports it during
+  // lowering (molga's well-definedness check).
+  const char *Src = R"molga(
+grammar G
+  phylum A root
+  attr A syn s : int
+  operator Leaf() -> A lexeme int
+  operator Pair(l: A, r: A) -> A
+  rules for Leaf
+    A.s := lexeme
+  end
+end
+)molga";
+  DiagnosticEngine D;
+  CompileResult R = compileMolga(Src, D);
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(D.dump().find("no defining rule"), std::string::npos) << D.dump();
+}
+
+} // namespace

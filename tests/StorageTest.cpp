@@ -1,0 +1,265 @@
+//===- tests/StorageTest.cpp - space optimization tests -------------------===//
+
+#include "analysis/Classify.h"
+#include "eval/Evaluator.h"
+#include "grammar/GrammarBuilder.h"
+#include "storage/StorageEvaluator.h"
+#include "tree/TreeGen.h"
+#include "workloads/ClassicGrammars.h"
+
+#include <gtest/gtest.h>
+
+using namespace fnc2;
+
+namespace {
+
+static EvaluationPlan planFor(const AttributeGrammar &AG) {
+  SncResult Snc = runSncTest(AG);
+  EXPECT_TRUE(Snc.IsSNC) << AG.Name;
+  OagResult Oag = runOagTest(AG, 1);
+  TransformResult TR = Oag.IsOAG ? uniformInstances(AG, Oag.Partitions)
+                                 : sncToLOrdered(AG, Snc);
+  EXPECT_TRUE(TR.Success) << TR.FailureReason;
+  EvaluationPlan Plan;
+  DiagnosticEngine D;
+  EXPECT_TRUE(buildVisitSequences(AG, TR, Plan, D)) << D.dump();
+  return Plan;
+}
+
+TEST(LifetimeTest, DeskCalculatorClassification) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  EvaluationPlan Plan = planFor(AG);
+  StorageAssignment SA = analyzeStorage(AG, Plan);
+
+  PhylumId Exp = AG.findPhylum("Exp");
+  PhylumId Prog = AG.findPhylum("Prog");
+  AttrId Env = AG.findAttr(Exp, "env");
+  AttrId Val = AG.findAttr(Exp, "val");
+  AttrId Result = AG.findAttr(Prog, "result");
+
+  // env is redefined under Let while outer instances are still live: stack.
+  EXPECT_EQ(SA.classOfAttr(Env), StorageClass::Stack);
+  // val of the first son stays live across the second son's visit, which
+  // recomputes val deeper: stack as well.
+  EXPECT_EQ(SA.classOfAttr(Val), StorageClass::Stack);
+  // result only ever has one live instance (the root's): a global variable.
+  EXPECT_EQ(SA.classOfAttr(Result), StorageClass::Variable);
+
+  // Nothing needs the tree in this grammar.
+  EXPECT_EQ(SA.NumTreeAttrs, 0u);
+  EXPECT_DOUBLE_EQ(SA.pctTree(), 0.0);
+  EXPECT_NEAR(SA.pctVariables() + SA.pctStacks() + SA.pctTree(), 100.0, 1e-9);
+}
+
+TEST(LifetimeTest, BroadcastCopiesEliminated) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  EvaluationPlan Plan = planFor(AG);
+  StorageAssignment SA = analyzeStorage(AG, Plan);
+  // The auto-generated env broadcast copies share the env stack cell.
+  EXPECT_GT(SA.TotalCopyRules, 0u);
+  EXPECT_GT(SA.EliminatedCopyRules, 0u);
+  EXPECT_LE(SA.EliminatedCopyRules, SA.TotalCopyRules);
+  EXPECT_LE(SA.EliminatedCopyRules, SA.EliminableCopyRules);
+}
+
+TEST(LifetimeTest, RepminGminCrossesVisits) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::repmin(Diags);
+  EvaluationPlan Plan = planFor(AG);
+  StorageAssignment SA = analyzeStorage(AG, Plan);
+  PhylumId T = AG.findPhylum("T");
+  // min is produced in visit 1 and consumed (as gmin) via an instance whose
+  // lifetime spans the two visits of the child in Top: some of repmin's
+  // attributes must stay in the tree or on stacks; the partition between
+  // classes must be consistent.
+  unsigned Classified = SA.NumVariableAttrs + SA.NumStackAttrs +
+                        SA.NumTreeAttrs;
+  EXPECT_EQ(Classified, AG.numAttrOccurrences());
+  // gmin of T: defined in visit boundary-crossing context in Top
+  // (Top: VISIT1, EVAL gmin, VISIT2 — all one chunk, so it may well be
+  // stack); just check it is not misclassified as a plain variable, since
+  // nested instances coexist.
+  AttrId GMin = AG.findAttr(T, "gmin");
+  EXPECT_NE(SA.classOfAttr(GMin), StorageClass::Variable);
+}
+
+TEST(LifetimeTest, IntervalsRespectSequenceBounds) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::binaryNumbers(Diags);
+  EvaluationPlan Plan = planFor(AG);
+  StorageAssignment SA = analyzeStorage(AG, Plan);
+  EXPECT_FALSE(SA.Intervals.empty());
+  for (const LifetimeInterval &LI : SA.Intervals) {
+    ASSERT_LT(LI.SeqIdx, Plan.Seqs.size());
+    EXPECT_LE(LI.DefPos, LI.EndPos);
+    EXPECT_LT(LI.EndPos, Plan.Seqs[LI.SeqIdx].Instrs.size());
+  }
+}
+
+TEST(StorageEvaluatorTest, MatchesReferenceOnDeskCalc) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  EvaluationPlan Plan = planFor(AG);
+  StorageAssignment SA = analyzeStorage(AG, Plan);
+  Evaluator Ref(Plan);
+  StorageEvaluator SE(Plan, SA);
+
+  DiagnosticEngine D;
+  Tree T = readTerm(
+      AG, "Calc(Let<\"x\">(Num<2>,Add(Var<\"x\">,Let<\"y\">(Num<5>,"
+          "Mul(Var<\"y\">,Var<\"x\">)))))",
+      D);
+  ASSERT_FALSE(D.hasErrors()) << D.dump();
+  ASSERT_TRUE(Ref.evaluate(T, D)) << D.dump();
+  PhylumId Prog = AG.findPhylum("Prog");
+  AttrId Result = AG.findAttr(Prog, "result");
+  Value Expected = T.root()->AttrVals[AG.attr(Result).IndexInOwner];
+  EXPECT_EQ(Expected.asInt(), 12);
+
+  ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
+  // result is variable-class: read it back through the tree mirror.
+  SE.setMirrorToTree(true);
+  ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
+  EXPECT_TRUE(
+      Expected.equals(T.root()->AttrVals[AG.attr(Result).IndexInOwner]));
+}
+
+class StorageAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(StorageAgreementTest, MirroredStorageRunMatchesReference) {
+  auto [GrammarIdx, Seed] = GetParam();
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = GrammarIdx == 0   ? workloads::deskCalculator(Diags)
+                        : GrammarIdx == 1 ? workloads::binaryNumbers(Diags)
+                        : GrammarIdx == 2 ? workloads::repmin(Diags)
+                                          : workloads::oag1Grammar(Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EvaluationPlan Plan = planFor(AG);
+  StorageAssignment SA = analyzeStorage(AG, Plan);
+  Evaluator Ref(Plan);
+  StorageEvaluator SE(Plan, SA);
+  SE.setMirrorToTree(true);
+
+  TreeGenerator Gen(AG, Seed);
+  Tree T = Gen.generate(40 + (Seed * 29) % 160);
+  DiagnosticEngine D;
+  ASSERT_TRUE(Ref.evaluate(T, D)) << D.dump();
+
+  // Snapshot every attribute instance from the reference run.
+  std::vector<std::pair<TreeNode *, std::vector<Value>>> Snapshot;
+  std::vector<TreeNode *> Work = {T.root()};
+  while (!Work.empty()) {
+    TreeNode *N = Work.back();
+    Work.pop_back();
+    Snapshot.emplace_back(N, N->AttrVals);
+    for (auto &C : N->Children)
+      Work.push_back(C.get());
+  }
+
+  ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
+  for (auto &[N, Vals] : Snapshot) {
+    ASSERT_EQ(N->AttrVals.size(), Vals.size());
+    for (size_t I = 0; I != Vals.size(); ++I)
+      EXPECT_TRUE(Vals[I].equals(N->AttrVals[I]))
+          << AG.Name << " node " << AG.prod(N->Prod).Name << " attr " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammars, StorageAgreementTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+TEST(StorageEvaluatorTest, PeakCellsWellBelowTreeBaseline) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  EvaluationPlan Plan = planFor(AG);
+  StorageAssignment SA = analyzeStorage(AG, Plan);
+  StorageEvaluator SE(Plan, SA);
+  TreeGenerator Gen(AG, 11);
+  Tree T = Gen.generate(2000);
+  DiagnosticEngine D;
+  ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
+  const StorageStats &S = SE.stats();
+  EXPECT_GT(S.TreeBaselineCells, 1000u);
+  EXPECT_GT(S.reductionFactor(), 2.0)
+      << "peak=" << S.PeakLiveCells << " baseline=" << S.TreeBaselineCells;
+  EXPECT_GT(S.CopiesSkipped, 0u);
+}
+
+TEST(StorageEvaluatorTest, StacksDrainCompletely) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::binaryNumbers(Diags);
+  EvaluationPlan Plan = planFor(AG);
+  StorageAssignment SA = analyzeStorage(AG, Plan);
+  StorageEvaluator SE(Plan, SA);
+  TreeGenerator Gen(AG, 4);
+  Tree T = Gen.generate(300);
+  DiagnosticEngine D;
+  ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
+  // Evaluate twice: stale state from the first run must not leak.
+  ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
+}
+
+TEST(StorageIdMapTest, LocalsGetDistinctIds) {
+  DiagnosticEngine Diags;
+  GrammarBuilder B("with-locals");
+  PhylumId X = B.phylum("X");
+  AttrId S = B.synthesized(X, "s", "int");
+  ProdId P = B.production("Leaf", X, {});
+  AttrOcc L1 = B.local(P, "tmp1");
+  AttrOcc L2 = B.local(P, "tmp2");
+  B.constant(P, L1, Value::ofInt(1));
+  B.rule(P, L2, {L1}, "inc", [](const std::vector<Value> &A) {
+    return Value::ofInt(A[0].asInt() + 1);
+  });
+  B.rule(P, AttrOcc::onSymbol(0, S), {L2}, "id",
+         [](const std::vector<Value> &A) { return A[0]; });
+  B.setStart(X);
+  AttributeGrammar AG = B.finalize(Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.dump();
+
+  StorageIdMap Ids(AG);
+  EXPECT_EQ(Ids.numIds(), 3u);
+  EXPECT_NE(Ids.idOfLocal(P, 0), Ids.idOfLocal(P, 1));
+  EXPECT_TRUE(Ids.isLocal(Ids.idOfLocal(P, 0)));
+  EXPECT_FALSE(Ids.isLocal(Ids.idOfAttr(S)));
+  EXPECT_NE(Ids.name(AG, Ids.idOfLocal(P, 1)).find("tmp2"), std::string::npos);
+
+  // And the machinery evaluates locals correctly end to end.
+  EvaluationPlan Plan = planFor(AG);
+  StorageAssignment SA = analyzeStorage(AG, Plan);
+  StorageEvaluator SE(Plan, SA);
+  SE.setMirrorToTree(true);
+  DiagnosticEngine D;
+  Tree T = readTerm(AG, "Leaf", D);
+  ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
+  EXPECT_EQ(T.root()->AttrVals[0].asInt(), 2);
+}
+
+TEST(GroupingTest, GroupCountsNeverExceedClassCounts) {
+  DiagnosticEngine Diags;
+  AttributeGrammar Gs[] = {
+      workloads::deskCalculator(Diags), workloads::binaryNumbers(Diags),
+      workloads::repmin(Diags), workloads::oag1Grammar(Diags),
+      workloads::dncNotOagGrammar(Diags)};
+  ASSERT_FALSE(Diags.hasErrors());
+  for (const AttributeGrammar &AG : Gs) {
+    EvaluationPlan Plan = planFor(AG);
+    StorageAssignment SA = analyzeStorage(AG, Plan);
+    unsigned VarIds = 0, StackIds = 0;
+    for (unsigned Id = 0; Id != SA.Ids.numIds(); ++Id) {
+      VarIds += SA.ClassOf[Id] == StorageClass::Variable;
+      StackIds += SA.ClassOf[Id] == StorageClass::Stack;
+    }
+    EXPECT_LE(SA.NumVarGroups, VarIds) << AG.Name;
+    EXPECT_LE(SA.NumStackGroups, StackIds) << AG.Name;
+    if (VarIds)
+      EXPECT_GE(SA.NumVarGroups, 1u) << AG.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+//===- tests/SupportTest.cpp - support layer unit tests -------------------===//
+
+#include "support/BitMatrix.h"
+#include "support/Diagnostics.h"
+#include "support/Digraph.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace fnc2;
+
+namespace {
+
+TEST(BitMatrixTest, SetTestReset) {
+  BitMatrix M(3, 70); // spans multiple words per row
+  EXPECT_FALSE(M.test(0, 0));
+  EXPECT_TRUE(M.set(0, 0));
+  EXPECT_FALSE(M.set(0, 0)) << "second set reports no change";
+  EXPECT_TRUE(M.test(0, 0));
+  EXPECT_TRUE(M.set(2, 69));
+  EXPECT_TRUE(M.test(2, 69));
+  M.reset(2, 69);
+  EXPECT_FALSE(M.test(2, 69));
+  EXPECT_EQ(M.count(), 1u);
+}
+
+TEST(BitMatrixTest, OrRowDetectsChange) {
+  BitMatrix A(2, 10), B(2, 10);
+  B.set(1, 3);
+  B.set(1, 9);
+  EXPECT_TRUE(A.orRow(0, B, 1));
+  EXPECT_TRUE(A.test(0, 3));
+  EXPECT_TRUE(A.test(0, 9));
+  EXPECT_FALSE(A.orRow(0, B, 1)) << "idempotent";
+}
+
+TEST(BitMatrixTest, TransitiveClosureChain) {
+  BitMatrix M(4, 4);
+  M.set(0, 1);
+  M.set(1, 2);
+  M.set(2, 3);
+  M.transitiveClosure();
+  EXPECT_TRUE(M.test(0, 3));
+  EXPECT_TRUE(M.test(0, 2));
+  EXPECT_TRUE(M.test(1, 3));
+  EXPECT_FALSE(M.test(3, 0));
+  EXPECT_FALSE(M.hasReflexiveBit());
+}
+
+TEST(BitMatrixTest, TransitiveClosureCycle) {
+  BitMatrix M(3, 3);
+  M.set(0, 1);
+  M.set(1, 0);
+  M.transitiveClosure();
+  EXPECT_TRUE(M.hasReflexiveBit());
+}
+
+TEST(DigraphTest, TopologicalOrderRespectsEdges) {
+  Digraph G(4);
+  G.addEdge(2, 0);
+  G.addEdge(0, 1);
+  G.addEdge(1, 3);
+  auto Order = G.topologicalOrder();
+  ASSERT_TRUE(Order.has_value());
+  std::vector<unsigned> Pos(4);
+  for (unsigned I = 0; I != 4; ++I)
+    Pos[(*Order)[I]] = I;
+  EXPECT_LT(Pos[2], Pos[0]);
+  EXPECT_LT(Pos[0], Pos[1]);
+  EXPECT_LT(Pos[1], Pos[3]);
+}
+
+TEST(DigraphTest, TopologicalOrderFailsOnCycle) {
+  Digraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 0);
+  EXPECT_FALSE(G.topologicalOrder().has_value());
+  EXPECT_TRUE(G.hasCycle());
+}
+
+TEST(DigraphTest, TopologicalPriorityBreaksTies) {
+  Digraph G(3); // no edges: priority decides fully
+  auto Order = G.topologicalOrder(
+      [](unsigned N) -> uint64_t { return 2 - N; });
+  ASSERT_TRUE(Order.has_value());
+  EXPECT_EQ((*Order)[0], 2u);
+  EXPECT_EQ((*Order)[2], 0u);
+}
+
+TEST(DigraphTest, FindCycleReturnsWitness) {
+  Digraph G(5);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  G.addEdge(3, 1); // cycle 1-2-3
+  auto Cycle = G.findCycle();
+  ASSERT_EQ(Cycle.size(), 3u);
+  // Each consecutive pair (and the wrap-around) must be a real edge.
+  for (size_t I = 0; I != Cycle.size(); ++I)
+    EXPECT_TRUE(G.hasEdge(Cycle[I], Cycle[(I + 1) % Cycle.size()]));
+}
+
+TEST(DigraphTest, FindCycleEmptyOnDag) {
+  Digraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  EXPECT_TRUE(G.findCycle().empty());
+}
+
+TEST(DigraphTest, DuplicateEdgesIgnored) {
+  Digraph G(2);
+  EXPECT_TRUE(G.addEdge(0, 1));
+  EXPECT_FALSE(G.addEdge(0, 1));
+  EXPECT_EQ(G.numEdges(), 1u);
+}
+
+TEST(DigraphTest, Reaches) {
+  Digraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  EXPECT_TRUE(G.reaches(0, 2));
+  EXPECT_FALSE(G.reaches(2, 0));
+  EXPECT_FALSE(G.reaches(0, 3));
+}
+
+TEST(DigraphTest, UnionEdges) {
+  Digraph A(3), B(3);
+  A.addEdge(0, 1);
+  B.addEdge(1, 2);
+  A.unionEdges(B);
+  EXPECT_TRUE(A.hasEdge(0, 1));
+  EXPECT_TRUE(A.hasEdge(1, 2));
+}
+
+TEST(DiagnosticsTest, CountsAndDump) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning("watch out");
+  EXPECT_FALSE(D.hasErrors());
+  D.error("boom", SourceLoc{3, 7});
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  std::string Dump = D.dump();
+  EXPECT_NE(Dump.find("warning: watch out"), std::string::npos);
+  EXPECT_NE(Dump.find("3:7: error: boom"), std::string::npos);
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter T({"name", "count"});
+  T.addRow({"alpha", "3"});
+  T.addRow({"b", "12345"});
+  std::string S = T.str();
+  EXPECT_NE(S.find("name"), std::string::npos);
+  EXPECT_NE(S.find("12345"), std::string::npos);
+  // Numeric cells right-align: "3" should be preceded by spaces up to width 5.
+  EXPECT_NE(S.find("    3"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(1.234, 2), "1.23");
+  EXPECT_EQ(TablePrinter::pct(12.34), "12.3%");
+}
+
+} // namespace

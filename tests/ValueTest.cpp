@@ -1,0 +1,100 @@
+//===- tests/ValueTest.cpp - value domain unit tests ----------------------===//
+
+#include "value/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace fnc2;
+
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::unit().isUnit());
+  EXPECT_EQ(Value::ofInt(-7).asInt(), -7);
+  EXPECT_TRUE(Value::ofBool(true).asBool());
+  EXPECT_EQ(Value::ofString("hi").asString(), "hi");
+  Value L = Value::ofList({Value::ofInt(1), Value::ofInt(2)});
+  ASSERT_TRUE(L.isList());
+  EXPECT_EQ(L.asList().size(), 2u);
+}
+
+TEST(ValueTest, StructuralEquality) {
+  EXPECT_TRUE(Value::ofInt(3).equals(Value::ofInt(3)));
+  EXPECT_FALSE(Value::ofInt(3).equals(Value::ofInt(4)));
+  EXPECT_FALSE(Value::ofInt(3).equals(Value::ofBool(true)));
+  Value A = Value::ofList({Value::ofString("x"), Value::ofInt(1)});
+  Value B = Value::ofList({Value::ofString("x"), Value::ofInt(1)});
+  EXPECT_TRUE(A.equals(B));
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST(ValueTest, MapInsertAndLookup) {
+  Value M = Value::emptyMap();
+  EXPECT_EQ(M.mapLookup("x"), nullptr);
+  Value M2 = M.mapInsert("x", Value::ofInt(1));
+  ASSERT_NE(M2.mapLookup("x"), nullptr);
+  EXPECT_EQ(M2.mapLookup("x")->asInt(), 1);
+  // Persistence: the original map is unchanged.
+  EXPECT_EQ(M.mapLookup("x"), nullptr);
+}
+
+TEST(ValueTest, MapShadowing) {
+  Value M = Value::emptyMap()
+                .mapInsert("x", Value::ofInt(1))
+                .mapInsert("x", Value::ofInt(2));
+  EXPECT_EQ(M.mapLookup("x")->asInt(), 2);
+  EXPECT_EQ(M.mapSize(), 1u) << "shadowed binding not visible";
+}
+
+TEST(ValueTest, MapEqualityIgnoresInsertionOrder) {
+  Value A = Value::emptyMap()
+                .mapInsert("x", Value::ofInt(1))
+                .mapInsert("y", Value::ofInt(2));
+  Value B = Value::emptyMap()
+                .mapInsert("y", Value::ofInt(2))
+                .mapInsert("x", Value::ofInt(1));
+  EXPECT_TRUE(A.equals(B));
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST(ValueTest, MapEqualityRespectsShadowing) {
+  Value A = Value::emptyMap()
+                .mapInsert("x", Value::ofInt(1))
+                .mapInsert("x", Value::ofInt(2));
+  Value B = Value::emptyMap().mapInsert("x", Value::ofInt(2));
+  EXPECT_TRUE(A.equals(B));
+}
+
+TEST(ValueTest, ListOperations) {
+  Value L = Value::ofList({});
+  Value L1 = L.listAppend(Value::ofInt(1));
+  EXPECT_EQ(L.asList().size(), 0u) << "lists are immutable";
+  EXPECT_EQ(L1.asList().size(), 1u);
+  Value L2 = Value::listConcat(L1, L1);
+  EXPECT_EQ(L2.asList().size(), 2u);
+}
+
+TEST(ValueTest, Rendering) {
+  EXPECT_EQ(Value::ofInt(5).str(), "5");
+  EXPECT_EQ(Value::ofBool(false).str(), "false");
+  EXPECT_EQ(Value::ofString("a").str(), "\"a\"");
+  EXPECT_EQ(Value::ofList({Value::ofInt(1), Value::ofInt(2)}).str(), "[1, 2]");
+  Value M = Value::emptyMap().mapInsert("k", Value::ofInt(9));
+  EXPECT_EQ(M.str(), "{k=9}");
+  EXPECT_EQ(Value::unit().str(), "()");
+}
+
+TEST(ValueTest, SharedTailsCompareFast) {
+  // Build a long chain once, extend it two different ways; equality on the
+  // shared part must be correct.
+  Value Base = Value::emptyMap();
+  for (int I = 0; I != 100; ++I)
+    Base = Base.mapInsert("k" + std::to_string(I), Value::ofInt(I));
+  Value A = Base.mapInsert("extra", Value::ofInt(1));
+  Value B = Base.mapInsert("extra", Value::ofInt(1));
+  EXPECT_TRUE(A.equals(B));
+  Value C = Base.mapInsert("extra", Value::ofInt(2));
+  EXPECT_FALSE(A.equals(C));
+}
+
+} // namespace
