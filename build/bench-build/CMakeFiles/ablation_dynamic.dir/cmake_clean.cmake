@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dynamic"
+  "../bench/ablation_dynamic.pdb"
+  "CMakeFiles/ablation_dynamic.dir/ablation_dynamic.cpp.o"
+  "CMakeFiles/ablation_dynamic.dir/ablation_dynamic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_handwritten"
+  "../bench/ablation_handwritten.pdb"
+  "CMakeFiles/ablation_handwritten.dir/ablation_handwritten.cpp.o"
+  "CMakeFiles/ablation_handwritten.dir/ablation_handwritten.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_handwritten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

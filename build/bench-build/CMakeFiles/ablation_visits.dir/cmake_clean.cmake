@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_visits"
+  "../bench/ablation_visits.pdb"
+  "CMakeFiles/ablation_visits.dir/ablation_visits.cpp.o"
+  "CMakeFiles/ablation_visits.dir/ablation_visits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_visits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_partitions"
+  "../bench/fig1_partitions.pdb"
+  "CMakeFiles/fig1_partitions.dir/fig1_partitions.cpp.o"
+  "CMakeFiles/fig1_partitions.dir/fig1_partitions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_system_pipeline"
+  "../bench/fig2_system_pipeline.pdb"
+  "CMakeFiles/fig2_system_pipeline.dir/fig2_system_pipeline.cpp.o"
+  "CMakeFiles/fig2_system_pipeline.dir/fig2_system_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_system_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_generator_cascade"
+  "../bench/fig3_generator_cascade.pdb"
+  "CMakeFiles/fig3_generator_cascade.dir/fig3_generator_cascade.cpp.o"
+  "CMakeFiles/fig3_generator_cascade.dir/fig3_generator_cascade.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_generator_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

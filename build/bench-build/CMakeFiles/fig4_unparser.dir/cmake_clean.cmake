@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_unparser"
+  "../bench/fig4_unparser.pdb"
+  "CMakeFiles/fig4_unparser.dir/fig4_unparser.cpp.o"
+  "CMakeFiles/fig4_unparser.dir/fig4_unparser.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_unparser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

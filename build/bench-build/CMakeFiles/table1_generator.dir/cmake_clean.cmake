@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_generator"
+  "../bench/table1_generator.pdb"
+  "CMakeFiles/table1_generator.dir/table1_generator.cpp.o"
+  "CMakeFiles/table1_generator.dir/table1_generator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

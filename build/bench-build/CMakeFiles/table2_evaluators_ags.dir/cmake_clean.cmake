@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_evaluators_ags"
+  "../bench/table2_evaluators_ags.pdb"
+  "CMakeFiles/table2_evaluators_ags.dir/table2_evaluators_ags.cpp.o"
+  "CMakeFiles/table2_evaluators_ags.dir/table2_evaluators_ags.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_evaluators_ags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_evaluators_modules"
+  "../bench/table3_evaluators_modules.pdb"
+  "CMakeFiles/table3_evaluators_modules.dir/table3_evaluators_modules.cpp.o"
+  "CMakeFiles/table3_evaluators_modules.dir/table3_evaluators_modules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_evaluators_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

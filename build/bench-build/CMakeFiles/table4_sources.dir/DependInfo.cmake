@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_sources.cpp" "bench-build/CMakeFiles/table4_sources.dir/table4_sources.cpp.o" "gcc" "bench-build/CMakeFiles/table4_sources.dir/table4_sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/fnc2_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/fnc2_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/fnc2_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/fnc2/CMakeFiles/fnc2_fnc2.dir/DependInfo.cmake"
+  "/root/repo/build/src/olga/CMakeFiles/fnc2_olga.dir/DependInfo.cmake"
+  "/root/repo/build/src/incremental/CMakeFiles/fnc2_incremental.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fnc2_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fnc2_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/visitseq/CMakeFiles/fnc2_visitseq.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordered/CMakeFiles/fnc2_ordered.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fnc2_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfa/CMakeFiles/fnc2_gfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/fnc2_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/fnc2_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordered/CMakeFiles/fnc2_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/fnc2_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fnc2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_sources"
+  "../bench/table4_sources.pdb"
+  "CMakeFiles/table4_sources.dir/table4_sources.cpp.o"
+  "CMakeFiles/table4_sources.dir/table4_sources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

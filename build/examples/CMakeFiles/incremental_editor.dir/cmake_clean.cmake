@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_editor.dir/incremental_editor.cpp.o"
+  "CMakeFiles/incremental_editor.dir/incremental_editor.cpp.o.d"
+  "incremental_editor"
+  "incremental_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

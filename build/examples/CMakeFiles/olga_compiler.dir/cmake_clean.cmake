@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olga_compiler.dir/olga_compiler.cpp.o"
+  "CMakeFiles/olga_compiler.dir/olga_compiler.cpp.o.d"
+  "olga_compiler"
+  "olga_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olga_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pascal_to_pcode.dir/pascal_to_pcode.cpp.o"
+  "CMakeFiles/pascal_to_pcode.dir/pascal_to_pcode.cpp.o.d"
+  "pascal_to_pcode"
+  "pascal_to_pcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pascal_to_pcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pascal_to_pcode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for pascal_to_pcode.
+# This may be replaced when dependencies are built.

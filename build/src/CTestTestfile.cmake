@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("value")
+subdirs("grammar")
+subdirs("tree")
+subdirs("gfa")
+subdirs("analysis")
+subdirs("ordered")
+subdirs("visitseq")
+subdirs("eval")
+subdirs("storage")
+subdirs("incremental")
+subdirs("olga")
+subdirs("codegen")
+subdirs("tools")
+subdirs("fnc2")
+subdirs("workloads")

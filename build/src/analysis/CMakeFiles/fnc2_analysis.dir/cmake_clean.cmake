@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_analysis.dir/Classify.cpp.o"
+  "CMakeFiles/fnc2_analysis.dir/Classify.cpp.o.d"
+  "CMakeFiles/fnc2_analysis.dir/NonCircular.cpp.o"
+  "CMakeFiles/fnc2_analysis.dir/NonCircular.cpp.o.d"
+  "CMakeFiles/fnc2_analysis.dir/Oag.cpp.o"
+  "CMakeFiles/fnc2_analysis.dir/Oag.cpp.o.d"
+  "CMakeFiles/fnc2_analysis.dir/Snc.cpp.o"
+  "CMakeFiles/fnc2_analysis.dir/Snc.cpp.o.d"
+  "libfnc2_analysis.a"
+  "libfnc2_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_codegen.dir/CEmitter.cpp.o"
+  "CMakeFiles/fnc2_codegen.dir/CEmitter.cpp.o.d"
+  "libfnc2_codegen.a"
+  "libfnc2_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

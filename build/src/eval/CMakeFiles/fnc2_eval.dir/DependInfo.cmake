@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/DemandEvaluator.cpp" "src/eval/CMakeFiles/fnc2_eval.dir/DemandEvaluator.cpp.o" "gcc" "src/eval/CMakeFiles/fnc2_eval.dir/DemandEvaluator.cpp.o.d"
+  "/root/repo/src/eval/Evaluator.cpp" "src/eval/CMakeFiles/fnc2_eval.dir/Evaluator.cpp.o" "gcc" "src/eval/CMakeFiles/fnc2_eval.dir/Evaluator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/visitseq/CMakeFiles/fnc2_visitseq.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/fnc2_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordered/CMakeFiles/fnc2_ordered.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fnc2_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfa/CMakeFiles/fnc2_gfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordered/CMakeFiles/fnc2_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/fnc2_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/fnc2_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fnc2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

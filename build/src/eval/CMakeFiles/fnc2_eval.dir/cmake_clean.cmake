@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_eval.dir/DemandEvaluator.cpp.o"
+  "CMakeFiles/fnc2_eval.dir/DemandEvaluator.cpp.o.d"
+  "CMakeFiles/fnc2_eval.dir/Evaluator.cpp.o"
+  "CMakeFiles/fnc2_eval.dir/Evaluator.cpp.o.d"
+  "libfnc2_eval.a"
+  "libfnc2_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_fnc2.dir/Generator.cpp.o"
+  "CMakeFiles/fnc2_fnc2.dir/Generator.cpp.o.d"
+  "libfnc2_fnc2.a"
+  "libfnc2_fnc2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_fnc2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gfa/GrammarFlow.cpp" "src/gfa/CMakeFiles/fnc2_gfa.dir/GrammarFlow.cpp.o" "gcc" "src/gfa/CMakeFiles/fnc2_gfa.dir/GrammarFlow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grammar/CMakeFiles/fnc2_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/fnc2_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fnc2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

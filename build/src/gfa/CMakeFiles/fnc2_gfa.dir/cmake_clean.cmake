@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_gfa.dir/GrammarFlow.cpp.o"
+  "CMakeFiles/fnc2_gfa.dir/GrammarFlow.cpp.o.d"
+  "libfnc2_gfa.a"
+  "libfnc2_gfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_gfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fnc2_gfa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_grammar.dir/AttributeGrammar.cpp.o"
+  "CMakeFiles/fnc2_grammar.dir/AttributeGrammar.cpp.o.d"
+  "CMakeFiles/fnc2_grammar.dir/GrammarBuilder.cpp.o"
+  "CMakeFiles/fnc2_grammar.dir/GrammarBuilder.cpp.o.d"
+  "libfnc2_grammar.a"
+  "libfnc2_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

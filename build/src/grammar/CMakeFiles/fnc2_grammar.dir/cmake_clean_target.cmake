@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfnc2_grammar.a"
+)

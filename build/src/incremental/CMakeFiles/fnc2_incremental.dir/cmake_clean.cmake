@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_incremental.dir/Incremental.cpp.o"
+  "CMakeFiles/fnc2_incremental.dir/Incremental.cpp.o.d"
+  "libfnc2_incremental.a"
+  "libfnc2_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

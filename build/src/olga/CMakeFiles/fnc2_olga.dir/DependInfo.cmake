@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olga/Driver.cpp" "src/olga/CMakeFiles/fnc2_olga.dir/Driver.cpp.o" "gcc" "src/olga/CMakeFiles/fnc2_olga.dir/Driver.cpp.o.d"
+  "/root/repo/src/olga/ExprEval.cpp" "src/olga/CMakeFiles/fnc2_olga.dir/ExprEval.cpp.o" "gcc" "src/olga/CMakeFiles/fnc2_olga.dir/ExprEval.cpp.o.d"
+  "/root/repo/src/olga/Lexer.cpp" "src/olga/CMakeFiles/fnc2_olga.dir/Lexer.cpp.o" "gcc" "src/olga/CMakeFiles/fnc2_olga.dir/Lexer.cpp.o.d"
+  "/root/repo/src/olga/Lower.cpp" "src/olga/CMakeFiles/fnc2_olga.dir/Lower.cpp.o" "gcc" "src/olga/CMakeFiles/fnc2_olga.dir/Lower.cpp.o.d"
+  "/root/repo/src/olga/Optimizer.cpp" "src/olga/CMakeFiles/fnc2_olga.dir/Optimizer.cpp.o" "gcc" "src/olga/CMakeFiles/fnc2_olga.dir/Optimizer.cpp.o.d"
+  "/root/repo/src/olga/Parser.cpp" "src/olga/CMakeFiles/fnc2_olga.dir/Parser.cpp.o" "gcc" "src/olga/CMakeFiles/fnc2_olga.dir/Parser.cpp.o.d"
+  "/root/repo/src/olga/Sema.cpp" "src/olga/CMakeFiles/fnc2_olga.dir/Sema.cpp.o" "gcc" "src/olga/CMakeFiles/fnc2_olga.dir/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grammar/CMakeFiles/fnc2_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/fnc2_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fnc2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_olga.dir/Driver.cpp.o"
+  "CMakeFiles/fnc2_olga.dir/Driver.cpp.o.d"
+  "CMakeFiles/fnc2_olga.dir/ExprEval.cpp.o"
+  "CMakeFiles/fnc2_olga.dir/ExprEval.cpp.o.d"
+  "CMakeFiles/fnc2_olga.dir/Lexer.cpp.o"
+  "CMakeFiles/fnc2_olga.dir/Lexer.cpp.o.d"
+  "CMakeFiles/fnc2_olga.dir/Lower.cpp.o"
+  "CMakeFiles/fnc2_olga.dir/Lower.cpp.o.d"
+  "CMakeFiles/fnc2_olga.dir/Optimizer.cpp.o"
+  "CMakeFiles/fnc2_olga.dir/Optimizer.cpp.o.d"
+  "CMakeFiles/fnc2_olga.dir/Parser.cpp.o"
+  "CMakeFiles/fnc2_olga.dir/Parser.cpp.o.d"
+  "CMakeFiles/fnc2_olga.dir/Sema.cpp.o"
+  "CMakeFiles/fnc2_olga.dir/Sema.cpp.o.d"
+  "libfnc2_olga.a"
+  "libfnc2_olga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_olga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

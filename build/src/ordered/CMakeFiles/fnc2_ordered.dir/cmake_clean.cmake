@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_ordered.dir/Transform.cpp.o"
+  "CMakeFiles/fnc2_ordered.dir/Transform.cpp.o.d"
+  "libfnc2_ordered.a"
+  "libfnc2_ordered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_ordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

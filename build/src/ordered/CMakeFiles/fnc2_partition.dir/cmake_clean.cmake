@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_partition.dir/Partition.cpp.o"
+  "CMakeFiles/fnc2_partition.dir/Partition.cpp.o.d"
+  "libfnc2_partition.a"
+  "libfnc2_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

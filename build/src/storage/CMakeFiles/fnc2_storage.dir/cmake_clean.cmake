@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_storage.dir/Lifetime.cpp.o"
+  "CMakeFiles/fnc2_storage.dir/Lifetime.cpp.o.d"
+  "CMakeFiles/fnc2_storage.dir/StorageEvaluator.cpp.o"
+  "CMakeFiles/fnc2_storage.dir/StorageEvaluator.cpp.o.d"
+  "libfnc2_storage.a"
+  "libfnc2_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_support.dir/BitMatrix.cpp.o"
+  "CMakeFiles/fnc2_support.dir/BitMatrix.cpp.o.d"
+  "CMakeFiles/fnc2_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/fnc2_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/fnc2_support.dir/Digraph.cpp.o"
+  "CMakeFiles/fnc2_support.dir/Digraph.cpp.o.d"
+  "CMakeFiles/fnc2_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/fnc2_support.dir/TablePrinter.cpp.o.d"
+  "libfnc2_support.a"
+  "libfnc2_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_tools.dir/Companion.cpp.o"
+  "CMakeFiles/fnc2_tools.dir/Companion.cpp.o.d"
+  "libfnc2_tools.a"
+  "libfnc2_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

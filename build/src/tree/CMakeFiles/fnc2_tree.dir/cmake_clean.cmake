@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_tree.dir/Tree.cpp.o"
+  "CMakeFiles/fnc2_tree.dir/Tree.cpp.o.d"
+  "CMakeFiles/fnc2_tree.dir/TreeGen.cpp.o"
+  "CMakeFiles/fnc2_tree.dir/TreeGen.cpp.o.d"
+  "libfnc2_tree.a"
+  "libfnc2_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

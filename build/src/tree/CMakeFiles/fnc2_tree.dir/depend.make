@@ -1,0 +1,2 @@
+# Empty dependencies file for fnc2_tree.
+# This may be replaced when dependencies are built.

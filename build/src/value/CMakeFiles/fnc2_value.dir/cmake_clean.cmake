@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_value.dir/Value.cpp.o"
+  "CMakeFiles/fnc2_value.dir/Value.cpp.o.d"
+  "libfnc2_value.a"
+  "libfnc2_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

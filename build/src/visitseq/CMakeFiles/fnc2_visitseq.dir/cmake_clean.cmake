@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_visitseq.dir/VisitSequence.cpp.o"
+  "CMakeFiles/fnc2_visitseq.dir/VisitSequence.cpp.o.d"
+  "libfnc2_visitseq.a"
+  "libfnc2_visitseq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_visitseq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fnc2_visitseq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnc2_workloads.dir/ClassicGrammars.cpp.o"
+  "CMakeFiles/fnc2_workloads.dir/ClassicGrammars.cpp.o.d"
+  "CMakeFiles/fnc2_workloads.dir/MiniPascal.cpp.o"
+  "CMakeFiles/fnc2_workloads.dir/MiniPascal.cpp.o.d"
+  "CMakeFiles/fnc2_workloads.dir/SpecGen.cpp.o"
+  "CMakeFiles/fnc2_workloads.dir/SpecGen.cpp.o.d"
+  "libfnc2_workloads.a"
+  "libfnc2_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnc2_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

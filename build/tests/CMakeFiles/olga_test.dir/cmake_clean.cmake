@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olga_test.dir/OlgaTest.cpp.o"
+  "CMakeFiles/olga_test.dir/OlgaTest.cpp.o.d"
+  "olga_test"
+  "olga_test.pdb"
+  "olga_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
