@@ -1,0 +1,213 @@
+//===- bench/batch_throughput.cpp - Parallel batch evaluation -------------===//
+//
+// Throughput and scaling of the parallel batch engine: batches of disjoint
+// trees evaluated against one shared plan at 1/2/4/8 threads, over the
+// SpecGen system-AG suite (AG1..AG7 analogues) and the MiniPascal workload,
+// for both the tree-resident and the storage-optimized interpreters. Trees
+// are independent, so on real multicore hardware scaling is expected to be
+// near-linear; the printed table reports trees/sec per thread count and the
+// speedup at the widest configuration, and the same numbers are emitted as
+// batch_throughput.json next to the table for downstream tooling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "eval/BatchEvaluator.h"
+#include "storage/BatchStorageEvaluator.h"
+#include "tree/TreeGen.h"
+#include "workloads/ClassicGrammars.h"
+#include "workloads/MiniPascal.h"
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+using namespace fnc2;
+using namespace fnc2::bench;
+
+namespace {
+
+constexpr unsigned ThreadSteps[] = {1, 2, 4, 8};
+constexpr unsigned BatchTrees = 64;
+
+struct Workload {
+  std::string Name;
+  const AttributeGrammar *AG = nullptr;
+  const GeneratedEvaluator *GE = nullptr;
+  std::vector<Tree> Trees;
+  unsigned TotalNodes = 0;
+};
+
+struct Measurement {
+  std::string Workload;
+  std::string Engine;
+  unsigned Threads = 0;
+  double TreesPerSec = 0;
+  double Speedup = 1.0;
+};
+
+/// Generated trees for one grammar, ~\p TreeSize nodes each.
+void fillTrees(Workload &W, unsigned TreeSize, uint64_t Seed) {
+  TreeGenerator Gen(*W.AG, Seed);
+  for (unsigned I = 0; I != BatchTrees; ++I) {
+    Tree T = Gen.generate(TreeSize);
+    W.TotalNodes += T.size();
+    W.Trees.push_back(std::move(T));
+  }
+}
+
+/// Times \p Run over enough rounds to fill ~0.3 s and returns trees/sec.
+template <typename Fn> double treesPerSec(size_t TreesPerRound, Fn Run) {
+  Run(); // warm-up: faults in node storage, sizes caches
+  unsigned Rounds = 1;
+  for (;;) {
+    Timer T;
+    for (unsigned R = 0; R != Rounds; ++R)
+      Run();
+    double Sec = T.seconds();
+    if (Sec > 0.3 || Rounds >= 64)
+      return double(TreesPerRound) * Rounds / (Sec > 0 ? Sec : 1e-9);
+    Rounds *= 4;
+  }
+}
+
+void measureWorkload(Workload &W, TablePrinter &T,
+                     std::vector<Measurement> &Out) {
+  for (const char *Engine : {"tree", "storage"}) {
+    bool Storage = Engine[0] == 's';
+    std::vector<std::string> Row{W.Name + " (" + Engine + ")",
+                                 std::to_string(W.Trees.size()),
+                                 std::to_string(W.TotalNodes /
+                                                unsigned(W.Trees.size()))};
+    double Base = 0;
+    for (unsigned Threads : ThreadSteps) {
+      ThreadPool Pool(Threads);
+      double Rate;
+      if (Storage) {
+        BatchStorageEvaluator BE(W.GE->Plan, W.GE->Storage, Pool);
+        Rate = treesPerSec(W.Trees.size(), [&] {
+          BatchStorageResult R = BE.evaluate(W.Trees);
+          if (!R.allSucceeded())
+            std::exit(1);
+          benchmark::DoNotOptimize(R.Stats.RulesEvaluated);
+        });
+      } else {
+        BatchEvaluator BE(W.GE->Plan, Pool);
+        Rate = treesPerSec(W.Trees.size(), [&] {
+          BatchResult R = BE.evaluate(W.Trees);
+          if (!R.allSucceeded())
+            std::exit(1);
+          benchmark::DoNotOptimize(R.Stats.RulesEvaluated);
+        });
+      }
+      if (Base == 0)
+        Base = Rate;
+      Row.push_back(TablePrinter::num(Rate, 0));
+      Out.push_back({W.Name, Engine, Threads, Rate, Rate / Base});
+    }
+    Row.push_back(TablePrinter::num(Out.back().Speedup, 2) + "x");
+    T.addRow(Row);
+  }
+}
+
+void emitJson(const std::vector<Measurement> &Ms, const std::string &Path) {
+  std::ofstream OutFile(Path);
+  OutFile << "{\n  \"hardware_threads\": "
+          << std::thread::hardware_concurrency()
+          << ",\n  \"batch_trees\": " << BatchTrees
+          << ",\n  \"measurements\": [\n";
+  for (size_t I = 0; I != Ms.size(); ++I) {
+    const Measurement &M = Ms[I];
+    OutFile << "    {\"workload\": \"" << M.Workload << "\", \"engine\": \""
+            << M.Engine << "\", \"threads\": " << M.Threads
+            << ", \"trees_per_sec\": " << M.TreesPerSec
+            << ", \"speedup\": " << M.Speedup << "}"
+            << (I + 1 == Ms.size() ? "\n" : ",\n");
+  }
+  OutFile << "  ]\n}\n";
+}
+
+/// google-benchmark view of one batch round over the desk-calculator plan,
+/// parameterized by thread count (State.range(0)).
+void BM_BatchEvaluateDesk(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  DiagnosticEngine GD;
+  GeneratedEvaluator GE = generateEvaluator(AG, GD);
+  if (!GE.Success)
+    State.SkipWithError("generation failed");
+  TreeGenerator Gen(AG, 5);
+  std::vector<Tree> Trees;
+  for (unsigned I = 0; I != BatchTrees; ++I)
+    Trees.push_back(Gen.generate(300));
+  ThreadPool Pool(unsigned(State.range(0)));
+  BatchEvaluator BE(GE.Plan, Pool);
+  for (auto _ : State) {
+    BatchResult R = BE.evaluate(Trees);
+    benchmark::DoNotOptimize(R.NumSucceeded);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * BatchTrees);
+}
+BENCHMARK(BM_BatchEvaluateDesk)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  TablePrinter T({"workload", "#trees", "nodes/tree", "t/s @1", "t/s @2",
+                  "t/s @4", "t/s @8", "speedup @8"});
+  std::vector<Measurement> Ms;
+
+  // The system-AG suite, shared-plan batches per AG.
+  std::vector<SuiteEntry> Suite = buildSystemSuite();
+  std::vector<Workload> Workloads;
+  for (SuiteEntry &E : Suite) {
+    Workload W;
+    W.Name = E.Ag.Name;
+    W.AG = &E.Compile.Grammars[0].AG;
+    W.GE = &E.Evaluator;
+    Workloads.push_back(std::move(W));
+  }
+  for (Workload &W : Workloads) {
+    fillTrees(W, 300, 77);
+    measureWorkload(W, T, Ms);
+  }
+
+  // MiniPascal: parsed programs instead of synthetic trees.
+  DiagnosticEngine Diags;
+  AttributeGrammar PascalAG = workloads::miniPascal(Diags);
+  DiagnosticEngine GD;
+  GeneratedEvaluator PascalGE = generateEvaluator(PascalAG, GD);
+  if (!PascalGE.Success) {
+    std::fprintf(stderr, "minipascal generation failed:\n%s\n",
+                 GD.dump().c_str());
+    return 1;
+  }
+  Workload Pascal;
+  Pascal.Name = "minipascal";
+  Pascal.AG = &PascalAG;
+  Pascal.GE = &PascalGE;
+  for (unsigned I = 0; I != BatchTrees; ++I) {
+    std::string Src = workloads::generateMiniPascalSource(40, 1000 + I);
+    DiagnosticEngine PD;
+    Tree T = workloads::parseMiniPascal(PascalAG, Src, PD);
+    if (PD.hasErrors()) {
+      std::fprintf(stderr, "minipascal parse failed:\n%s\n",
+                   PD.dump().c_str());
+      return 1;
+    }
+    Pascal.TotalNodes += T.size();
+    Pascal.Trees.push_back(std::move(T));
+  }
+  measureWorkload(Pascal, T, Ms);
+
+  std::printf("== batch evaluation throughput (shared plan, disjoint trees; "
+              "%u hardware threads) ==\n%s\n",
+              std::thread::hardware_concurrency(), T.str().c_str());
+  emitJson(Ms, "batch_throughput.json");
+  std::printf("wrote batch_throughput.json\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

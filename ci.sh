@@ -1,0 +1,28 @@
+#!/bin/sh
+# ci.sh — tier-1 verification plus the concurrency race gate, one command.
+#
+#   1. Release-ish build of everything + the full test suite.
+#   2. ThreadSanitizer build (-DFNC2_SANITIZE=thread) + the concurrency and
+#      differential tests, which exercise the shared-plan read path from
+#      many threads.
+#
+# Usage: ./ci.sh [jobs]
+set -eu
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
+SRC="$(cd "$(dirname "$0")" && pwd)"
+
+echo "== [1/2] RelWithDebInfo build + full ctest =="
+cmake -B "$SRC/build" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$SRC/build" -j "$JOBS"
+ctest --test-dir "$SRC/build" --output-on-failure -j "$JOBS"
+
+echo "== [2/2] ThreadSanitizer build + race gate =="
+cmake -B "$SRC/build-tsan" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFNC2_SANITIZE=thread
+cmake --build "$SRC/build-tsan" -j "$JOBS" \
+      --target concurrency_test differential_test
+ctest --test-dir "$SRC/build-tsan" --output-on-failure -j "$JOBS" \
+      -R 'ThreadPool|Concurrency|Differential'
+
+echo "ci.sh: all green"

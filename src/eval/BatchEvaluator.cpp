@@ -1,0 +1,40 @@
+//===- eval/BatchEvaluator.cpp --------------------------------------------===//
+
+#include "eval/BatchEvaluator.h"
+
+using namespace fnc2;
+
+void BatchEvaluator::setRootInherited(AttrId A, Value V) {
+  for (auto &[Attr, Val] : RootInh)
+    if (Attr == A) {
+      Val = std::move(V);
+      return;
+    }
+  RootInh.emplace_back(A, std::move(V));
+}
+
+BatchResult BatchEvaluator::evaluate(std::vector<Tree> &Trees) {
+  BatchResult Result;
+  Result.Outcomes.resize(Trees.size());
+
+  // One stats accumulator per worker; merged after the join so the hot loop
+  // never contends.
+  std::vector<EvalStats> WorkerStats(Pool.numThreads());
+
+  Pool.parallelFor(Trees.size(), [&](size_t I, unsigned Worker) {
+    // A fresh interpreter per tree: it is two references and the root
+    // inherited values, and it keeps tree failures fully isolated.
+    Evaluator E(Plan);
+    for (const auto &[Attr, Val] : RootInh)
+      E.setRootInherited(Attr, Val);
+    BatchTreeOutcome &Out = Result.Outcomes[I];
+    Out.Success = E.evaluate(Trees[I], Out.Diags);
+    WorkerStats[Worker].merge(E.stats());
+  });
+
+  for (const EvalStats &S : WorkerStats)
+    Result.Stats.merge(S);
+  for (const BatchTreeOutcome &Out : Result.Outcomes)
+    Result.NumSucceeded += Out.Success;
+  return Result;
+}

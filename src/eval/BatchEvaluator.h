@@ -1,0 +1,67 @@
+//===- eval/BatchEvaluator.h - Parallel batch evaluation --------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel batch engine: evaluates a vector of independent attributed
+/// trees concurrently against one shared immutable EvaluationPlan (see the
+/// immutability contract in visitseq/VisitSequence.h). Each tree gets its
+/// own DiagnosticEngine so a failing tree cannot poison the batch, and each
+/// worker accumulates its own EvalStats, merged on join. The trees must be
+/// pairwise disjoint (no shared nodes); beyond that no coordination is
+/// needed because evaluation only writes tree-resident state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_EVAL_BATCHEVALUATOR_H
+#define FNC2_EVAL_BATCHEVALUATOR_H
+
+#include "eval/Evaluator.h"
+#include "support/ThreadPool.h"
+
+#include <deque>
+
+namespace fnc2 {
+
+/// Per-tree outcome of a batch run. Lives in a deque because the engine
+/// (and its embedded mutex) is not movable.
+struct BatchTreeOutcome {
+  bool Success = false;
+  DiagnosticEngine Diags;
+};
+
+/// The join of one batch: per-tree outcomes plus merged dynamic counters.
+struct BatchResult {
+  std::deque<BatchTreeOutcome> Outcomes;
+  EvalStats Stats;
+  unsigned NumSucceeded = 0;
+
+  bool allSucceeded() const { return NumSucceeded == Outcomes.size(); }
+};
+
+/// Evaluates batches of trees of one grammar over a shared plan.
+class BatchEvaluator {
+public:
+  BatchEvaluator(const EvaluationPlan &Plan, ThreadPool &Pool)
+      : Plan(Plan), Pool(Pool) {}
+
+  /// Root inherited attributes applied to every tree of the batch.
+  void setRootInherited(AttrId A, Value V);
+
+  /// Evaluates every tree of \p Trees (which must be pairwise disjoint),
+  /// distributing them over the pool. Trees carry their attribute values on
+  /// return exactly as under the sequential Evaluator; outcome I describes
+  /// Trees[I].
+  BatchResult evaluate(std::vector<Tree> &Trees);
+
+private:
+  const EvaluationPlan &Plan;
+  ThreadPool &Pool;
+  std::vector<std::pair<AttrId, Value>> RootInh;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_EVAL_BATCHEVALUATOR_H

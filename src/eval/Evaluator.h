@@ -29,6 +29,13 @@ struct EvalStats {
   uint64_t InstructionsExecuted = 0;
 
   void reset() { *this = EvalStats(); }
+
+  /// Accumulates another worker's counters (batch join).
+  void merge(const EvalStats &O) {
+    RulesEvaluated += O.RulesEvaluated;
+    VisitsPerformed += O.VisitsPerformed;
+    InstructionsExecuted += O.InstructionsExecuted;
+  }
 };
 
 /// Interprets an EvaluationPlan over trees of its grammar.

@@ -1,0 +1,40 @@
+//===- storage/BatchStorageEvaluator.cpp ----------------------------------===//
+
+#include "storage/BatchStorageEvaluator.h"
+
+using namespace fnc2;
+
+void BatchStorageEvaluator::setRootInherited(AttrId A, Value V) {
+  for (auto &[Attr, Val] : RootInh)
+    if (Attr == A) {
+      Val = std::move(V);
+      return;
+    }
+  RootInh.emplace_back(A, std::move(V));
+}
+
+BatchStorageResult BatchStorageEvaluator::evaluate(std::vector<Tree> &Trees) {
+  BatchStorageResult Result;
+  Result.Outcomes.resize(Trees.size());
+
+  std::vector<StorageStats> WorkerStats(Pool.numThreads());
+
+  Pool.parallelFor(Trees.size(), [&](size_t I, unsigned Worker) {
+    // A fresh interpreter per tree: the assignment's variables and stacks
+    // are run-local cell banks, so sharing an instance across concurrent
+    // trees would be meaningless as well as racy.
+    StorageEvaluator E(Plan, SA);
+    E.setMirrorToTree(MirrorToTree);
+    for (const auto &[Attr, Val] : RootInh)
+      E.setRootInherited(Attr, Val);
+    BatchTreeOutcome &Out = Result.Outcomes[I];
+    Out.Success = E.evaluate(Trees[I], Out.Diags);
+    WorkerStats[Worker].merge(E.stats());
+  });
+
+  for (const StorageStats &S : WorkerStats)
+    Result.Stats.merge(S);
+  for (const BatchTreeOutcome &Out : Result.Outcomes)
+    Result.NumSucceeded += Out.Success;
+  return Result;
+}

@@ -1,0 +1,60 @@
+//===- storage/BatchStorageEvaluator.h - Batched storage eval ---*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch API of eval/BatchEvaluator.h extended over the storage-
+/// optimized evaluator, so the space-optimization ablation also runs
+/// batched. The plan and the StorageAssignment are shared read-only; the
+/// global variables and stacks the assignment prescribes are *per-worker
+/// interpreter state* (one StorageEvaluator instance per tree), since cell
+/// contents are meaningful only within one tree's evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_STORAGE_BATCHSTORAGEEVALUATOR_H
+#define FNC2_STORAGE_BATCHSTORAGEEVALUATOR_H
+
+#include "eval/BatchEvaluator.h"
+#include "storage/StorageEvaluator.h"
+#include "support/ThreadPool.h"
+
+namespace fnc2 {
+
+/// The join of one storage-evaluated batch.
+struct BatchStorageResult {
+  std::deque<BatchTreeOutcome> Outcomes;
+  StorageStats Stats;
+  unsigned NumSucceeded = 0;
+
+  bool allSucceeded() const { return NumSucceeded == Outcomes.size(); }
+};
+
+/// Evaluates batches of disjoint trees under a shared plan + storage
+/// assignment.
+class BatchStorageEvaluator {
+public:
+  BatchStorageEvaluator(const EvaluationPlan &Plan,
+                        const StorageAssignment &SA, ThreadPool &Pool)
+      : Plan(Plan), SA(SA), Pool(Pool) {}
+
+  void setRootInherited(AttrId A, Value V);
+
+  /// Mirrors every write into the tree slots (differential testing).
+  void setMirrorToTree(bool On) { MirrorToTree = On; }
+
+  BatchStorageResult evaluate(std::vector<Tree> &Trees);
+
+private:
+  const EvaluationPlan &Plan;
+  const StorageAssignment &SA;
+  ThreadPool &Pool;
+  bool MirrorToTree = false;
+  std::vector<std::pair<AttrId, Value>> RootInh;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_STORAGE_BATCHSTORAGEEVALUATOR_H

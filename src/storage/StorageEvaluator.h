@@ -47,6 +47,20 @@ struct StorageStats {
   }
 
   void reset() { *this = StorageStats(); }
+
+  /// Accumulates another worker's counters (batch join). Counters add up;
+  /// the peak is a per-run maximum, so the merged peak is the largest
+  /// single-tree working set seen by any worker.
+  void merge(const StorageStats &O) {
+    PeakLiveCells = PeakLiveCells > O.PeakLiveCells ? PeakLiveCells
+                                                    : O.PeakLiveCells;
+    TreeBaselineCells += O.TreeBaselineCells;
+    StackPushes += O.StackPushes;
+    VariableWrites += O.VariableWrites;
+    TreeWrites += O.TreeWrites;
+    CopiesSkipped += O.CopiesSkipped;
+    RulesEvaluated += O.RulesEvaluated;
+  }
 };
 
 /// Interprets an EvaluationPlan under a StorageAssignment.

@@ -14,6 +14,7 @@
 #ifndef FNC2_SUPPORT_DIAGNOSTICS_H
 #define FNC2_SUPPORT_DIAGNOSTICS_H
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,32 +42,51 @@ struct Diagnostic {
 
 /// Accumulates diagnostics; owned by the driver, passed by reference into
 /// every fallible analysis.
+///
+/// Reporting is internally synchronized: semantic functions lowered from
+/// molga capture a *shared* runtime engine inside the evaluation plan, so
+/// when the batch engine evaluates trees of one plan on several threads,
+/// concurrent error() calls must not race. Snapshot readers (dump(),
+/// hasErrors(), errorCount()) take the same lock; diagnostics() returns a
+/// reference and is only safe once reporting has quiesced (after a batch
+/// join or on a single thread).
 class DiagnosticEngine {
 public:
   void error(const std::string &Message, SourceLoc Loc = {}) {
+    std::lock_guard<std::mutex> Lock(Mu);
     Diags.push_back({DiagSeverity::Error, Loc, Message});
     ++NumErrors;
   }
   void warning(const std::string &Message, SourceLoc Loc = {}) {
+    std::lock_guard<std::mutex> Lock(Mu);
     Diags.push_back({DiagSeverity::Warning, Loc, Message});
   }
   void note(const std::string &Message, SourceLoc Loc = {}) {
+    std::lock_guard<std::mutex> Lock(Mu);
     Diags.push_back({DiagSeverity::Note, Loc, Message});
   }
 
-  bool hasErrors() const { return NumErrors != 0; }
-  unsigned errorCount() const { return NumErrors; }
+  bool hasErrors() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return NumErrors != 0;
+  }
+  unsigned errorCount() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return NumErrors;
+  }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
   /// Concatenates all diagnostics, one per line (handy in test failures).
   std::string dump() const;
 
   void clear() {
+    std::lock_guard<std::mutex> Lock(Mu);
     Diags.clear();
     NumErrors = 0;
   }
 
 private:
+  mutable std::mutex Mu;
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
 };

@@ -1,0 +1,146 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+using namespace fnc2;
+
+/// One parallelFor() invocation in flight.
+struct ThreadPool::Batch {
+  const std::function<void(size_t, unsigned)> *Body = nullptr;
+  std::atomic<size_t> Remaining{0};
+};
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  NumWorkers = NumThreads;
+  Queues.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  // Worker 0 is the thread that calls parallelFor(); spawn the rest.
+  Threads.reserve(NumWorkers - 1);
+  for (unsigned I = 1; I != NumWorkers; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(BatchMu);
+    ShuttingDown = true;
+  }
+  BatchCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+bool ThreadPool::popLocal(WorkerQueue &Q, size_t &Index) {
+  std::lock_guard<std::mutex> Lock(Q.Mu);
+  if (Q.Indices.empty())
+    return false;
+  Index = Q.Indices.back();
+  Q.Indices.pop_back();
+  return true;
+}
+
+bool ThreadPool::steal(unsigned Thief, size_t &Index) {
+  for (unsigned Step = 1; Step != NumWorkers; ++Step) {
+    WorkerQueue &Victim = *Queues[(Thief + Step) % NumWorkers];
+    std::lock_guard<std::mutex> Lock(Victim.Mu);
+    if (!Victim.Indices.empty()) {
+      Index = Victim.Indices.front();
+      Victim.Indices.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::drainBatch(Batch &B, unsigned Worker) {
+  while (B.Remaining.load(std::memory_order_acquire) != 0) {
+    size_t Index;
+    if (popLocal(*Queues[Worker], Index) || steal(Worker, Index)) {
+      (*B.Body)(Index, Worker);
+      if (B.Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last index done: retire the batch and release the submitter.
+        std::lock_guard<std::mutex> Lock(BatchMu);
+        Live = nullptr;
+        DoneCv.notify_all();
+      }
+    } else {
+      // Every deque is empty but sibling workers still run stolen indices;
+      // the tail is at most one coarse task long, so yielding beats a
+      // condition-variable round-trip here.
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ThreadPool::workerLoop(unsigned Worker) {
+  uint64_t SeenSeq = 0;
+  for (;;) {
+    Batch *B = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(BatchMu);
+      BatchCv.wait(Lock, [&] {
+        return ShuttingDown || (Live != nullptr && BatchSeq != SeenSeq);
+      });
+      if (ShuttingDown)
+        return;
+      SeenSeq = BatchSeq;
+      B = Live;
+      // Registered under the lock, so the submitter cannot destroy the
+      // batch while this worker still dereferences it.
+      ++ActiveRunners;
+    }
+    drainBatch(*B, Worker);
+    {
+      std::lock_guard<std::mutex> Lock(BatchMu);
+      if (--ActiveRunners == 0 && Live == nullptr)
+        DoneCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(
+    size_t N, const std::function<void(size_t, unsigned)> &Body) {
+  if (N == 0)
+    return;
+  if (NumWorkers == 1 || N == 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I, 0);
+    return;
+  }
+
+  Batch B;
+  B.Body = &Body;
+  B.Remaining.store(N, std::memory_order_relaxed);
+
+  // Deal indices round-robin so every worker starts with local work; the
+  // deques are untouched between batches, no draining contention yet.
+  for (unsigned W = 0; W != NumWorkers; ++W) {
+    std::lock_guard<std::mutex> Lock(Queues[W]->Mu);
+    assert(Queues[W]->Indices.empty() && "stale work between batches");
+    for (size_t I = W; I < N; I += NumWorkers)
+      Queues[W]->Indices.push_back(I);
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(BatchMu);
+    assert(Live == nullptr && "parallelFor is not reentrant");
+    Live = &B;
+    ++BatchSeq;
+  }
+  BatchCv.notify_all();
+
+  // The submitting thread is worker 0. The wait below covers both the last
+  // index retiring (Live cleared) and every spawned worker having left the
+  // batch, after which the stack-allocated Batch can safely die.
+  drainBatch(B, 0);
+
+  std::unique_lock<std::mutex> Lock(BatchMu);
+  DoneCv.wait(Lock, [&] { return Live == nullptr && ActiveRunners == 0; });
+}

@@ -1,0 +1,98 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A work-stealing thread pool for the batch evaluation engine. Each worker
+/// owns a deque: it pushes and pops its own work at the back (LIFO, cache
+/// warm) and steals from the front of a victim's deque (FIFO, oldest task)
+/// when its own runs dry. Tasks here are coarse — one attributed tree per
+/// task — so per-deque mutexes cost nothing measurable and keep the pool
+/// trivially ThreadSanitizer-clean; the classic lock-free Chase–Lev deque
+/// would buy latency the workload cannot observe.
+///
+/// The pool is task-parallel only: tasks must not block on other tasks.
+/// parallelFor() is the bulk entry point the evaluators use; the calling
+/// thread participates as worker 0, so a pool constructed with N threads
+/// applies exactly N workers (N-1 spawned + the caller), and a pool of one
+/// thread degenerates to a plain sequential loop with no synchronization
+/// beyond one atomic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_SUPPORT_THREADPOOL_H
+#define FNC2_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fnc2 {
+
+/// A fixed-size work-stealing pool. Construction spawns the workers;
+/// destruction joins them. One pool can serve many parallelFor() batches,
+/// but batches must not be issued concurrently from several threads.
+class ThreadPool {
+public:
+  /// \p NumThreads is the total worker count including the calling thread;
+  /// 0 means one worker per hardware thread.
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return NumWorkers; }
+
+  /// Runs Body(Index, Worker) for every Index in [0, N), distributed over
+  /// the workers; Worker is in [0, numThreads()) and identifies the worker
+  /// executing that index (stable within one body invocation, so it can
+  /// index per-worker accumulators). Blocks until every index has run.
+  /// Exceptions must not escape Body.
+  void parallelFor(size_t N,
+                   const std::function<void(size_t, unsigned)> &Body);
+
+private:
+  struct Batch;
+
+  /// One worker's deque; owned work is pushed/popped at the back, thieves
+  /// take from the front.
+  struct WorkerQueue {
+    std::mutex Mu;
+    std::deque<size_t> Indices;
+  };
+
+  void workerLoop(unsigned Worker);
+  /// Runs batch indices as worker \p Worker until the batch is drained.
+  void drainBatch(Batch &B, unsigned Worker);
+  bool popLocal(WorkerQueue &Q, size_t &Index);
+  bool steal(unsigned Thief, size_t &Index);
+
+  unsigned NumWorkers;
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Threads;
+
+  /// Batch hand-off: the submitting thread installs the live batch, wakes
+  /// the spawned workers, helps drain it, then waits for quiescence.
+  std::mutex BatchMu;
+  std::condition_variable BatchCv;   ///< Workers wait here for a batch.
+  std::condition_variable DoneCv;    ///< Submitter waits here for the join.
+  Batch *Live = nullptr;
+  uint64_t BatchSeq = 0;
+  /// Spawned workers currently inside the live batch (guarded by BatchMu);
+  /// the submitter must not retire the batch while any remain.
+  unsigned ActiveRunners = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_SUPPORT_THREADPOOL_H

@@ -56,6 +56,17 @@ struct VisitSequence {
 };
 
 /// Everything an evaluator needs: partition tables and visit sequences.
+///
+/// Immutability contract: a plan is written exactly once, by
+/// buildVisitSequences() (and the storage optimizer reading alongside it),
+/// and is strictly read-only afterwards. Every evaluator — exhaustive,
+/// demand, storage-optimized, incremental and the batch engine — takes it by
+/// const reference and the read path (find(), the sequences, the grammar's
+/// semantic function table) performs no hidden mutation, so one plan is
+/// safely shared by any number of threads evaluating disjoint trees. The
+/// only mutable state reachable through a plan is the runtime
+/// DiagnosticEngine captured by molga-lowered semantic functions, which is
+/// internally synchronized (see support/Diagnostics.h).
 struct EvaluationPlan {
   const AttributeGrammar *AG = nullptr;
   std::vector<std::vector<TotallyOrderedPartition>> Partitions;

@@ -1,0 +1,264 @@
+//===- tests/ConcurrencyStressTest.cpp - shared-plan race gate ------------===//
+//
+// Stresses the parallel batch engine's sharing contract: one immutable
+// EvaluationPlan evaluated from many threads over disjoint trees, repeatedly.
+// Built under -DFNC2_SANITIZE=thread (see ci.sh) this is the race gate for
+// the shared read path — plan tables, semantic function closures, the
+// molga runtime-diagnostics engine — and for the ThreadPool itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/BatchEvaluator.h"
+#include "fnc2/Generator.h"
+#include "grammar/GrammarBuilder.h"
+#include "olga/Driver.h"
+#include "storage/BatchStorageEvaluator.h"
+#include "support/ThreadPool.h"
+#include "tree/TreeGen.h"
+#include "workloads/ClassicGrammars.h"
+#include "workloads/SpecGen.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace fnc2;
+
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool Pool(8);
+  EXPECT_EQ(Pool.numThreads(), 8u);
+  constexpr size_t N = 10000;
+  std::vector<std::atomic<unsigned>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I, unsigned Worker) {
+    EXPECT_LT(Worker, Pool.numThreads());
+    Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << I;
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatchesOfAnySize) {
+  ThreadPool Pool(4);
+  for (size_t N : {0u, 1u, 2u, 7u, 64u, 255u}) {
+    std::atomic<size_t> Sum{0};
+    Pool.parallelFor(N, [&](size_t I, unsigned) {
+      Sum.fetch_add(I + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(Sum.load(), N * (N + 1) / 2) << N;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolDegeneratesToSequential) {
+  ThreadPool Pool(1);
+  std::vector<size_t> Order;
+  Pool.parallelFor(16, [&](size_t I, unsigned Worker) {
+    EXPECT_EQ(Worker, 0u);
+    Order.push_back(I); // no lock needed: sequential by contract
+  });
+  ASSERT_EQ(Order.size(), 16u);
+  for (size_t I = 0; I != 16; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+/// Shared fixture: plan + storage for the desk calculator and for a
+/// molga-compiled spec (the latter routes every semantic function through
+/// the shared Program and runtime-diagnostics engine).
+struct SharedPlanCase {
+  AttributeGrammar AG;
+  GeneratedEvaluator GE;
+  olga::CompileResult Compile; // keeps molga Program alive
+};
+
+SharedPlanCase deskCase() {
+  SharedPlanCase C;
+  DiagnosticEngine Diags;
+  C.AG = workloads::deskCalculator(Diags);
+  DiagnosticEngine GD;
+  C.GE = generateEvaluator(C.AG, GD);
+  EXPECT_TRUE(C.GE.Success) << GD.dump();
+  return C;
+}
+
+SharedPlanCase molgaCase() {
+  SharedPlanCase C;
+  workloads::SpecGenOptions Opts;
+  Opts.Name = "Stress";
+  Opts.Phyla = 5;
+  Opts.AttrPairs = 2;
+  Opts.Seed = 42;
+  DiagnosticEngine Diags;
+  C.Compile = olga::compileMolga(workloads::generateMolgaSpec(Opts), Diags);
+  EXPECT_TRUE(C.Compile.Success) << Diags.dump();
+  C.AG = C.Compile.Grammars[0].AG;
+  DiagnosticEngine GD;
+  C.GE = generateEvaluator(C.AG, GD);
+  EXPECT_TRUE(C.GE.Success) << GD.dump();
+  return C;
+}
+
+/// Evaluates disjoint trees of one shared plan from raw threads, each thread
+/// its own interpreter, many rounds; verifies against a sequential
+/// reference computed up front.
+void stressSharedPlan(const SharedPlanCase &C, unsigned NumThreads,
+                      unsigned Rounds) {
+  const unsigned TreesPerThread = 4;
+  TreeGenerator Gen(C.AG, 3);
+
+  // Per thread, its own source trees and their reference root values.
+  struct ThreadWork {
+    std::vector<Tree> Trees;
+    std::vector<std::vector<Value>> RefRootVals;
+  };
+  std::vector<ThreadWork> Work(NumThreads);
+  for (ThreadWork &W : Work)
+    for (unsigned I = 0; I != TreesPerThread; ++I) {
+      Tree T = Gen.generate(80 + 17 * I);
+      Evaluator E(C.GE.Plan);
+      DiagnosticEngine D;
+      ASSERT_TRUE(E.evaluate(T, D)) << D.dump();
+      W.RefRootVals.push_back(T.root()->AttrVals);
+      W.Trees.push_back(std::move(T));
+    }
+
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned TI = 0; TI != NumThreads; ++TI)
+    Threads.emplace_back([&, TI] {
+      ThreadWork &W = Work[TI];
+      for (unsigned R = 0; R != Rounds; ++R)
+        for (unsigned I = 0; I != TreesPerThread; ++I) {
+          Evaluator E(C.GE.Plan);
+          DiagnosticEngine D;
+          if (!E.evaluate(W.Trees[I], D)) {
+            ++Failures;
+            continue;
+          }
+          for (unsigned A = 0; A != W.RefRootVals[I].size(); ++A)
+            if (!W.RefRootVals[I][A].equals(W.Trees[I].root()->AttrVals[A]))
+              ++Failures;
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+}
+
+TEST(ConcurrencyStressTest, ManyThreadsShareOneDeskPlan) {
+  stressSharedPlan(deskCase(), 8, 12);
+}
+
+TEST(ConcurrencyStressTest, ManyThreadsShareOneMolgaPlan) {
+  // Semantic functions here all route through the shared Program and the
+  // shared runtime DiagnosticEngine — the audited mutation points.
+  stressSharedPlan(molgaCase(), 8, 8);
+}
+
+TEST(ConcurrencyStressTest, BatchEvaluatorRepeatedOverSharedPlan) {
+  SharedPlanCase C = molgaCase();
+  ThreadPool Pool(8);
+  BatchEvaluator BE(C.GE.Plan, Pool);
+
+  TreeGenerator Gen(C.AG, 9);
+  std::vector<Tree> Trees;
+  std::vector<Value> RefOut;
+  for (unsigned I = 0; I != 32; ++I) {
+    Tree T = Gen.generate(60 + 5 * I);
+    Evaluator E(C.GE.Plan);
+    DiagnosticEngine D;
+    ASSERT_TRUE(E.evaluate(T, D)) << D.dump();
+    RefOut.push_back(T.root()->AttrVals[0]);
+    T.resetAttributes();
+    Trees.push_back(std::move(T));
+  }
+
+  for (unsigned Round = 0; Round != 6; ++Round) {
+    BatchResult R = BE.evaluate(Trees);
+    ASSERT_TRUE(R.allSucceeded());
+    ASSERT_EQ(R.Outcomes.size(), Trees.size());
+    EXPECT_GT(R.Stats.RulesEvaluated, 0u);
+    for (unsigned I = 0; I != Trees.size(); ++I)
+      EXPECT_TRUE(RefOut[I].equals(Trees[I].root()->AttrVals[0])) << I;
+  }
+}
+
+TEST(ConcurrencyStressTest, BatchStorageEvaluatorRepeatedOverSharedPlan) {
+  SharedPlanCase C = deskCase();
+  ThreadPool Pool(8);
+  BatchStorageEvaluator BSE(C.GE.Plan, C.GE.Storage, Pool);
+  BSE.setMirrorToTree(true);
+
+  TreeGenerator Gen(C.AG, 21);
+  std::vector<Tree> Trees;
+  for (unsigned I = 0; I != 24; ++I)
+    Trees.push_back(Gen.generate(70 + 9 * I));
+
+  for (unsigned Round = 0; Round != 6; ++Round) {
+    BatchStorageResult R = BSE.evaluate(Trees);
+    ASSERT_TRUE(R.allSucceeded());
+    EXPECT_GT(R.Stats.RulesEvaluated, 0u);
+    EXPECT_GT(R.Stats.PeakLiveCells, 0u);
+  }
+}
+
+TEST(ConcurrencyStressTest, SharedDiagnosticEngineIsSynchronized) {
+  // molga-lowered semantic functions report runtime errors through one
+  // engine shared by every thread evaluating the plan; hammer that exact
+  // pattern directly so TSan gates the engine's internal locking.
+  DiagnosticEngine Shared;
+  ThreadPool Pool(8);
+  Pool.parallelFor(512, [&](size_t I, unsigned) {
+    Shared.error("runtime error " + std::to_string(I));
+    Shared.warning("warning " + std::to_string(I));
+    if (I % 16 == 0)
+      (void)Shared.dump();
+    (void)Shared.hasErrors();
+  });
+  EXPECT_EQ(Shared.errorCount(), 512u);
+  EXPECT_EQ(Shared.diagnostics().size(), 1024u);
+}
+
+TEST(ConcurrencyStressTest, FailingTreesCannotPoisonTheBatch) {
+  // A grammar whose start phylum demands an inherited attribute: without it
+  // every tree fails, each with its own diagnostics; providing it flips the
+  // whole batch to success. Exercises the per-tree DiagnosticEngine path
+  // concurrently.
+  DiagnosticEngine Diags;
+  GrammarBuilder B("needs-input");
+  PhylumId X = B.phylum("X");
+  AttrId H = B.inherited(X, "h", "int");
+  AttrId S = B.synthesized(X, "s", "int");
+  ProdId Leaf = B.production("Leaf", X, {});
+  B.copy(Leaf, AttrOcc::onSymbol(0, S), AttrOcc::onSymbol(0, H));
+  B.setStart(X);
+  AttributeGrammar AG = B.finalize(Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.dump();
+  DiagnosticEngine GD;
+  GeneratedEvaluator GE = generateEvaluator(AG, GD);
+  ASSERT_TRUE(GE.Success) << GD.dump();
+
+  ThreadPool Pool(8);
+  BatchEvaluator BE(GE.Plan, Pool);
+  std::vector<Tree> Trees;
+  for (unsigned I = 0; I != 16; ++I) {
+    DiagnosticEngine D;
+    Trees.push_back(readTerm(AG, "Leaf", D));
+  }
+
+  BatchResult Fail = BE.evaluate(Trees);
+  EXPECT_EQ(Fail.NumSucceeded, 0u);
+  for (const BatchTreeOutcome &Out : Fail.Outcomes) {
+    EXPECT_FALSE(Out.Success);
+    EXPECT_NE(Out.Diags.dump().find("was not provided"), std::string::npos);
+  }
+
+  BE.setRootInherited(H, Value::ofInt(5));
+  BatchResult Ok = BE.evaluate(Trees);
+  EXPECT_TRUE(Ok.allSucceeded());
+  for (const Tree &T : Trees)
+    EXPECT_EQ(T.root()->AttrVals[AG.attr(S).IndexInOwner].asInt(), 5);
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+//===- tests/DifferentialTest.cpp - evaluator family equivalence ----------===//
+//
+// Differential testing across the evaluator family (in the spirit of
+// systematic AG debugging): the exhaustive, demand-driven, storage-optimized
+// and parallel batch evaluators share one semantics, so on every grammar and
+// every tree they must produce structurally equal attribute values at every
+// node, and the batch engine at N threads must match the sequential
+// evaluator exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/BatchEvaluator.h"
+#include "eval/DemandEvaluator.h"
+#include "eval/Evaluator.h"
+#include "fnc2/Generator.h"
+#include "olga/Driver.h"
+#include "storage/BatchStorageEvaluator.h"
+#include "storage/StorageEvaluator.h"
+#include "tree/TreeGen.h"
+#include "workloads/ClassicGrammars.h"
+#include "workloads/SpecGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace fnc2;
+
+namespace {
+
+/// Clones \p T into a fresh tree with pristine attribute state.
+Tree cloneTree(const AttributeGrammar &AG, const Tree &T) {
+  Tree C(AG);
+  C.setRoot(T.clone(T.root()));
+  return C;
+}
+
+/// Applies a fixed value for every inherited attribute of the start phylum
+/// through \p Set, so grammars whose roots demand context still evaluate.
+template <typename EvalT>
+void provideRootInherited(const AttributeGrammar &AG, EvalT &E) {
+  for (AttrId A : AG.phylum(AG.Start).Attrs)
+    if (AG.attr(A).isInherited())
+      E.setRootInherited(A, Value::ofInt(7));
+}
+
+/// Asserts both trees carry identical attribute instances: same computed
+/// masks, structurally equal values; locals compare when both sides did
+/// compute them (the variants differ in whether locals survive).
+void expectSameAttribution(const AttributeGrammar &AG, const TreeNode *Ref,
+                           const TreeNode *Got, const std::string &Tag) {
+  ASSERT_EQ(Ref->Prod, Got->Prod) << Tag;
+  ASSERT_EQ(Ref->AttrComputed.size(), Got->AttrComputed.size())
+      << Tag << ": attribute slot count at " << AG.prod(Ref->Prod).Name;
+  for (unsigned I = 0; I != Ref->AttrComputed.size(); ++I) {
+    EXPECT_EQ(bool(Ref->AttrComputed[I]), bool(Got->AttrComputed[I]))
+        << Tag << ": computed mask " << I << " at " << AG.prod(Ref->Prod).Name;
+    if (Ref->AttrComputed[I] && Got->AttrComputed[I]) {
+      EXPECT_TRUE(Ref->AttrVals[I].equals(Got->AttrVals[I]))
+          << Tag << ": attribute " << I << " at " << AG.prod(Ref->Prod).Name
+          << ": " << Ref->AttrVals[I].str() << " vs " << Got->AttrVals[I].str();
+    }
+  }
+  unsigned Locals = std::min(Ref->LocalComputed.size(),
+                             Got->LocalComputed.size());
+  for (unsigned I = 0; I != Locals; ++I)
+    if (Ref->LocalComputed[I] && Got->LocalComputed[I]) {
+      EXPECT_TRUE(Ref->LocalVals[I].equals(Got->LocalVals[I]))
+          << Tag << ": local " << I << " at " << AG.prod(Ref->Prod).Name;
+    }
+  ASSERT_EQ(Ref->arity(), Got->arity()) << Tag;
+  for (unsigned I = 0; I != Ref->arity(); ++I)
+    expectSameAttribution(AG, Ref->child(I), Got->child(I), Tag);
+}
+
+/// Runs the whole family over \p NumTrees generated trees of \p AG and
+/// cross-checks every variant against the sequential exhaustive evaluator.
+void runFamily(const AttributeGrammar &AG, const GeneratedEvaluator &GE,
+               unsigned NumTrees, unsigned TreeSize, uint64_t Seed) {
+  ASSERT_TRUE(GE.Success) << AG.Name;
+  TreeGenerator Gen(AG, Seed);
+
+  std::vector<Tree> Sources;
+  for (unsigned I = 0; I != NumTrees; ++I)
+    Sources.push_back(Gen.generate(TreeSize + 31 * I));
+
+  // Reference: the sequential exhaustive evaluator.
+  std::vector<Tree> Reference;
+  for (const Tree &T : Sources) {
+    Tree R = cloneTree(AG, T);
+    Evaluator E(GE.Plan);
+    provideRootInherited(AG, E);
+    DiagnosticEngine D;
+    ASSERT_TRUE(E.evaluate(R, D)) << AG.Name << ": " << D.dump();
+    Reference.push_back(std::move(R));
+  }
+
+  // Demand-driven evaluation agrees.
+  for (unsigned I = 0; I != NumTrees; ++I) {
+    Tree T = cloneTree(AG, Sources[I]);
+    DemandEvaluator DE(AG);
+    provideRootInherited(AG, DE);
+    DiagnosticEngine D;
+    ASSERT_TRUE(DE.evaluateAll(T, D)) << AG.Name << ": " << D.dump();
+    expectSameAttribution(AG, Reference[I].root(), T.root(),
+                          AG.Name + "/demand");
+  }
+
+  // Storage-optimized evaluation agrees (mirroring writes into the tree).
+  for (unsigned I = 0; I != NumTrees; ++I) {
+    Tree T = cloneTree(AG, Sources[I]);
+    StorageEvaluator SE(GE.Plan, GE.Storage);
+    SE.setMirrorToTree(true);
+    provideRootInherited(AG, SE);
+    DiagnosticEngine D;
+    ASSERT_TRUE(SE.evaluate(T, D)) << AG.Name << ": " << D.dump();
+    expectSameAttribution(AG, Reference[I].root(), T.root(),
+                          AG.Name + "/storage");
+  }
+
+  // The batch engine at 4 threads matches the sequential evaluator on every
+  // tree, and so does the batched storage evaluator.
+  ThreadPool Pool(4);
+  {
+    std::vector<Tree> Batch;
+    for (const Tree &T : Sources)
+      Batch.push_back(cloneTree(AG, T));
+    BatchEvaluator BE(GE.Plan, Pool);
+    provideRootInherited(AG, BE);
+    BatchResult R = BE.evaluate(Batch);
+    ASSERT_TRUE(R.allSucceeded())
+        << AG.Name << ": " << R.Outcomes[0].Diags.dump();
+    for (unsigned I = 0; I != NumTrees; ++I)
+      expectSameAttribution(AG, Reference[I].root(), Batch[I].root(),
+                            AG.Name + "/batch");
+  }
+  {
+    std::vector<Tree> Batch;
+    for (const Tree &T : Sources)
+      Batch.push_back(cloneTree(AG, T));
+    BatchStorageEvaluator BSE(GE.Plan, GE.Storage, Pool);
+    BSE.setMirrorToTree(true);
+    provideRootInherited(AG, BSE);
+    BatchStorageResult R = BSE.evaluate(Batch);
+    ASSERT_TRUE(R.allSucceeded())
+        << AG.Name << ": " << R.Outcomes[0].Diags.dump();
+    for (unsigned I = 0; I != NumTrees; ++I)
+      expectSameAttribution(AG, Reference[I].root(), Batch[I].root(),
+                            AG.Name + "/batch-storage");
+  }
+}
+
+using GrammarFactory = AttributeGrammar (*)(DiagnosticEngine &);
+
+struct ClassicCase {
+  const char *Name;
+  GrammarFactory Make;
+  unsigned TreeSize;
+};
+
+class ClassicDifferentialTest : public ::testing::TestWithParam<ClassicCase> {
+};
+
+TEST_P(ClassicDifferentialTest, FamilyAgrees) {
+  const ClassicCase &C = GetParam();
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = C.Make(Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.dump();
+  DiagnosticEngine GD;
+  GeneratorOptions Opts;
+  Opts.OagK = 1; // lets oag1Grammar order; harmless for the others
+  GeneratedEvaluator GE = generateEvaluator(AG, GD, Opts);
+  ASSERT_TRUE(GE.Success) << GD.dump();
+  runFamily(AG, GE, 6, C.TreeSize, 11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammars, ClassicDifferentialTest,
+    ::testing::Values(ClassicCase{"desk", workloads::deskCalculator, 150},
+                      ClassicCase{"binary", workloads::binaryNumbers, 150},
+                      ClassicCase{"repmin", workloads::repmin, 150},
+                      ClassicCase{"twoctx", workloads::twoContextGrammar, 20},
+                      ClassicCase{"dnc", workloads::dncNotOagGrammar, 40},
+                      ClassicCase{"oag1", workloads::oag1Grammar, 40}),
+    [](const ::testing::TestParamInfo<ClassicCase> &I) {
+      return I.param.Name;
+    });
+
+TEST(DifferentialTest, SpecGenSystemSuiteFamilyAgrees) {
+  for (const workloads::SystemAg &Ag : workloads::systemAgSuite()) {
+    DiagnosticEngine Diags;
+    olga::CompileResult C = olga::compileMolga(Ag.Source, Diags);
+    ASSERT_TRUE(C.Success) << Ag.Name << ": " << Diags.dump();
+    DiagnosticEngine GD;
+    GeneratorOptions Opts;
+    Opts.OagK = Ag.OagK;
+    GeneratedEvaluator GE = generateEvaluator(C.Grammars[0].AG, GD, Opts);
+    ASSERT_TRUE(GE.Success) << Ag.Name << ": " << GD.dump();
+    runFamily(C.Grammars[0].AG, GE, 3, 160, 23);
+  }
+}
+
+} // namespace
