@@ -1,10 +1,16 @@
 #!/bin/sh
-# ci.sh — tier-1 verification plus the concurrency race gate, one command.
+# ci.sh — tier-1 verification, perf baselines, and the concurrency race
+# gate, one command.
 #
-#   1. Release-ish build of everything + the full test suite.
-#   2. ThreadSanitizer build (-DFNC2_SANITIZE=thread) + the concurrency and
-#      differential tests, which exercise the shared-plan read path from
-#      many threads.
+#   1. Release-ish build of everything + the full test suite (including the
+#      incremental edit-oracle and the golden-trace suites).
+#   2. Perf baselines: the observability-overhead bench (evaluator family
+#      timings, tracing off vs on) and the batch-throughput bench; their
+#      JSON outputs are copied to BENCH_evaluators.json and BENCH_batch.json
+#      at the repo root on every run.
+#   3. ThreadSanitizer build (-DFNC2_SANITIZE=thread) + the concurrency,
+#      differential, trace and oracle tests, which exercise the shared-plan
+#      read path and the per-thread trace buffers from many threads.
 #
 # Usage: ./ci.sh [jobs]
 set -eu
@@ -12,17 +18,27 @@ set -eu
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
 SRC="$(cd "$(dirname "$0")" && pwd)"
 
-echo "== [1/2] RelWithDebInfo build + full ctest =="
+echo "== [1/3] RelWithDebInfo build + full ctest =="
 cmake -B "$SRC/build" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$SRC/build" -j "$JOBS"
 ctest --test-dir "$SRC/build" --output-on-failure -j "$JOBS"
 
-echo "== [2/2] ThreadSanitizer build + race gate =="
+echo "== [2/3] perf baselines (observability overhead + batch throughput) =="
+cmake --build "$SRC/build" -j "$JOBS" \
+      --target observability_overhead batch_throughput
+(cd "$SRC/build/bench" && ./observability_overhead)
+(cd "$SRC/build/bench" && ./batch_throughput --benchmark_min_time=0.05s)
+cp "$SRC/build/bench/evaluator_baselines.json" "$SRC/BENCH_evaluators.json"
+cp "$SRC/build/bench/batch_throughput.json" "$SRC/BENCH_batch.json"
+echo "wrote BENCH_evaluators.json, BENCH_batch.json"
+
+echo "== [3/3] ThreadSanitizer build + race gate =="
 cmake -B "$SRC/build-tsan" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DFNC2_SANITIZE=thread
 cmake --build "$SRC/build-tsan" -j "$JOBS" \
-      --target concurrency_test differential_test
+      --target concurrency_test differential_test trace_test \
+               incremental_oracle_test
 ctest --test-dir "$SRC/build-tsan" --output-on-failure -j "$JOBS" \
-      -R 'ThreadPool|Concurrency|Differential'
+      -R 'ThreadPool|Concurrency|Differential|Trace|Oracle'
 
 echo "ci.sh: all green"

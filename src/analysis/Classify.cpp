@@ -2,6 +2,8 @@
 
 #include "analysis/Classify.h"
 
+#include "support/Trace.h"
+
 using namespace fnc2;
 
 std::string ClassifyResult::className() const {
@@ -21,20 +23,29 @@ std::string ClassifyResult::className() const {
 ClassifyResult fnc2::classifyGrammar(const AttributeGrammar &AG,
                                      unsigned OagK) {
   ClassifyResult R;
-  R.Snc = runSncTest(AG);
+  {
+    FNC2_SPAN("classify.snc");
+    R.Snc = runSncTest(AG);
+  }
   if (!R.Snc.IsSNC) {
     R.Class = AgClass::NotSNC;
     return R;
   }
   R.Class = AgClass::SNC;
 
-  R.Dnc = runDncTest(AG, R.Snc);
+  {
+    FNC2_SPAN("classify.dnc");
+    R.Dnc = runDncTest(AG, R.Snc);
+  }
   R.DncRan = true;
   if (!R.Dnc.IsDNC)
     return R;
   R.Class = AgClass::DNC;
 
-  R.Oag = runOagTest(AG, OagK);
+  {
+    FNC2_SPAN("classify.oag");
+    R.Oag = runOagTest(AG, OagK);
+  }
   R.OagRan = true;
   if (R.Oag.IsOAG)
     R.Class = AgClass::OAG;

@@ -2,6 +2,8 @@
 
 #include "analysis/Oag.h"
 
+#include "support/Trace.h"
+
 using namespace fnc2;
 
 /// Computes the IDS fixpoint: the symbol relation is pasted at *every*
@@ -13,6 +15,7 @@ static bool computeIds(const AttributeGrammar &AG, PhylumRelation &IDS,
   while (Changed) {
     Changed = false;
     ++Iterations;
+    FNC2_COUNT("oag.ids_iterations", 1);
     for (ProdId P = 0; P != AG.numProds(); ++P) {
       AugmentOptions Opts;
       Opts.Below = &IDS;
@@ -53,6 +56,7 @@ static Digraph buildEdp(const AttributeGrammar &AG, ProdId P,
 }
 
 OagResult fnc2::runOagTest(const AttributeGrammar &AG, unsigned K) {
+  FNC2_SPAN("oag.test");
   OagResult R;
   R.IDS = PhylumRelation(AG);
 
@@ -64,6 +68,7 @@ OagResult fnc2::runOagTest(const AttributeGrammar &AG, unsigned K) {
   PhylumRelation Extra(AG);
 
   for (unsigned Round = 0; Round <= K; ++Round) {
+    FNC2_COUNT("oag.rounds", 1);
     // Peel one partition per phylum from IDS + Extra.
     PhylumRelation DS = R.IDS;
     bool DsOk = true;

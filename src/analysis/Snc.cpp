@@ -2,9 +2,12 @@
 
 #include "analysis/Circularity.h"
 
+#include "support/Trace.h"
+
 using namespace fnc2;
 
 SncResult fnc2::runSncTest(const AttributeGrammar &AG) {
+  FNC2_SPAN("snc.test");
   SncResult R;
   R.IO = PhylumRelation(AG);
 
@@ -14,6 +17,7 @@ SncResult fnc2::runSncTest(const AttributeGrammar &AG) {
   while (Changed) {
     Changed = false;
     ++R.Iterations;
+    FNC2_COUNT("snc.iterations", 1);
     for (ProdId P = 0; P != AG.numProds(); ++P) {
       AugmentOptions Opts;
       Opts.Below = &R.IO;
@@ -41,6 +45,7 @@ SncResult fnc2::runSncTest(const AttributeGrammar &AG) {
 }
 
 DncResult fnc2::runDncTest(const AttributeGrammar &AG, const SncResult &Snc) {
+  FNC2_SPAN("dnc.test");
   DncResult R;
   R.OI = PhylumRelation(AG);
   assert(Snc.IsSNC && "DNC test runs only after a successful SNC test");
@@ -51,6 +56,7 @@ DncResult fnc2::runDncTest(const AttributeGrammar &AG, const SncResult &Snc) {
   while (Changed) {
     Changed = false;
     ++R.Iterations;
+    FNC2_COUNT("dnc.iterations", 1);
     for (ProdId P = 0; P != AG.numProds(); ++P) {
       AugmentOptions Opts;
       Opts.Below = &Snc.IO;

@@ -2,6 +2,8 @@
 
 #include "eval/BatchEvaluator.h"
 
+#include "support/Trace.h"
+
 using namespace fnc2;
 
 void BatchEvaluator::setRootInherited(AttrId A, Value V) {
@@ -14,6 +16,7 @@ void BatchEvaluator::setRootInherited(AttrId A, Value V) {
 }
 
 BatchResult BatchEvaluator::evaluate(std::vector<Tree> &Trees) {
+  FNC2_SPAN("batch.evaluate");
   BatchResult Result;
   Result.Outcomes.resize(Trees.size());
 
@@ -22,6 +25,9 @@ BatchResult BatchEvaluator::evaluate(std::vector<Tree> &Trees) {
   std::vector<EvalStats> WorkerStats(Pool.numThreads());
 
   Pool.parallelFor(Trees.size(), [&](size_t I, unsigned Worker) {
+    // Each worker's trace events land in that thread's own buffer; the
+    // spans nested under this one reconstruct the per-worker timeline.
+    FNC2_SPAN("batch.tree");
     // A fresh interpreter per tree: it is two references and the root
     // inherited values, and it keeps tree failures fully isolated.
     Evaluator E(Plan);

@@ -2,6 +2,8 @@
 
 #include "eval/DemandEvaluator.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 
 using namespace fnc2;
@@ -31,12 +33,14 @@ bool DemandEvaluator::runRule(TreeNode *N, RuleId R, DiagnosticEngine &Diags) {
   }
   writeOcc(AG, N, Rule.Target, Rule.Fn(Args));
   ++Stats.RulesEvaluated;
+  FNC2_COUNT("demand.rules", 1);
   return true;
 }
 
 bool DemandEvaluator::forceOcc(TreeNode *N, const AttrOcc &O,
                                DiagnosticEngine &Diags) {
   ++Stats.InstructionsExecuted; // scheduling overhead: one dispatch per access
+  FNC2_COUNT("demand.forces", 1);
   if (O.isLexeme())
     return true;
   ensureNodeStorage(AG, N);
@@ -122,6 +126,7 @@ static bool forceSubtree(DemandEvaluator &E, const AttributeGrammar &AG,
 }
 
 bool DemandEvaluator::evaluateAll(Tree &T, DiagnosticEngine &Diags) {
+  FNC2_SPAN("demand.tree");
   if (!T.root()) {
     Diags.error("cannot evaluate an empty tree");
     return false;

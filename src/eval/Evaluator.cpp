@@ -2,7 +2,18 @@
 
 #include "eval/Evaluator.h"
 
+#include "support/Trace.h"
+
 using namespace fnc2;
+
+std::span<const CounterField<EvalStats>> EvalStats::schema() {
+  static constexpr CounterField<EvalStats> Fields[] = {
+      {"eval.rules_evaluated", &EvalStats::RulesEvaluated},
+      {"eval.visits_performed", &EvalStats::VisitsPerformed},
+      {"eval.instructions_executed", &EvalStats::InstructionsExecuted},
+  };
+  return Fields;
+}
 
 void fnc2::ensureNodeStorage(const AttributeGrammar &AG, TreeNode *N) {
   const Production &Pr = AG.prod(N->Prod);
@@ -75,6 +86,7 @@ bool Evaluator::execEval(TreeNode *N, const std::vector<RuleId> &Rules,
     writeOcc(AG, N, Rule.Target, Rule.Fn(Args));
     ++Stats.RulesEvaluated;
   }
+  FNC2_COUNT("eval.rules", Rules.size());
   return true;
 }
 
@@ -90,6 +102,7 @@ bool Evaluator::runVisit(TreeNode *N, unsigned VisitNo,
   }
   assert(VisitNo >= 1 && VisitNo <= Seq->NumVisits && "visit out of range");
   ++Stats.VisitsPerformed;
+  FNC2_SPAN("eval.visit");
 
   for (unsigned I = Seq->BeginIndex[VisitNo - 1] + 1;; ++I) {
     assert(I < Seq->Instrs.size() && "ran past the end of a visit sequence");
@@ -118,6 +131,7 @@ bool Evaluator::runVisit(TreeNode *N, unsigned VisitNo,
 }
 
 bool Evaluator::evaluate(Tree &T, DiagnosticEngine &Diags) {
+  FNC2_SPAN("eval.tree");
   const AttributeGrammar &AG = *Plan.AG;
   TreeNode *Root = T.root();
   if (!Root) {

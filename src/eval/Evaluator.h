@@ -17,25 +17,30 @@
 #ifndef FNC2_EVAL_EVALUATOR_H
 #define FNC2_EVAL_EVALUATOR_H
 
+#include "support/Metrics.h"
 #include "tree/Tree.h"
 #include "visitseq/VisitSequence.h"
 
 namespace fnc2 {
 
-/// Dynamic counters the benches report.
+/// Dynamic counters the benches report. Reset/merge/export semantics are
+/// derived from schema() (support/Metrics.h), shared with the other
+/// evaluators' stats structs.
 struct EvalStats {
   uint64_t RulesEvaluated = 0;
   uint64_t VisitsPerformed = 0;
   uint64_t InstructionsExecuted = 0;
 
-  void reset() { *this = EvalStats(); }
+  /// Names and merge kinds of every counter above.
+  static std::span<const CounterField<EvalStats>> schema();
+
+  void reset() { statsReset(*this); }
 
   /// Accumulates another worker's counters (batch join).
-  void merge(const EvalStats &O) {
-    RulesEvaluated += O.RulesEvaluated;
-    VisitsPerformed += O.VisitsPerformed;
-    InstructionsExecuted += O.InstructionsExecuted;
-  }
+  void merge(const EvalStats &O) { statsMerge(*this, O); }
+
+  /// Publishes every counter into \p R under its "eval.*" schema name.
+  void exportTo(MetricsRegistry &R) const { statsExport(*this, R); }
 };
 
 /// Interprets an EvaluationPlan over trees of its grammar.

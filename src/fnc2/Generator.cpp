@@ -3,17 +3,22 @@
 #include "fnc2/Generator.h"
 
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 using namespace fnc2;
 
 GeneratedEvaluator fnc2::generateEvaluator(const AttributeGrammar &AG,
                                            DiagnosticEngine &Diags,
                                            GeneratorOptions Opts) {
+  FNC2_SPAN("generate");
   GeneratedEvaluator G;
   Timer Phase;
 
   // Phase 1: SNC test; abort with the circularity trace on failure.
-  G.Classes.Snc = runSncTest(AG);
+  {
+    FNC2_SPAN("generate.snc");
+    G.Classes.Snc = runSncTest(AG);
+  }
   G.Times.Snc = Phase.seconds();
   if (!G.Classes.Snc.IsSNC) {
     G.Classes.Class = AgClass::NotSNC;
@@ -27,7 +32,10 @@ GeneratedEvaluator fnc2::generateEvaluator(const AttributeGrammar &AG,
 
   // Phase 2: DNC test.
   Phase.reset();
-  G.Classes.Dnc = runDncTest(AG, G.Classes.Snc);
+  {
+    FNC2_SPAN("generate.dnc");
+    G.Classes.Dnc = runDncTest(AG, G.Classes.Snc);
+  }
   G.Classes.DncRan = true;
   G.Times.Dnc = Phase.seconds();
   if (G.Classes.Dnc.IsDNC)
@@ -36,7 +44,10 @@ GeneratedEvaluator fnc2::generateEvaluator(const AttributeGrammar &AG,
   // Phase 3: OAG(k) test, only when DNC succeeded (figure 3's cascade).
   if (G.Classes.Dnc.IsDNC) {
     Phase.reset();
-    G.Classes.Oag = runOagTest(AG, Opts.OagK);
+    {
+      FNC2_SPAN("generate.oag");
+      G.Classes.Oag = runOagTest(AG, Opts.OagK);
+    }
     G.Classes.OagRan = true;
     G.Times.Oag = Phase.seconds();
     if (G.Classes.Oag.IsOAG)
@@ -46,10 +57,13 @@ GeneratedEvaluator fnc2::generateEvaluator(const AttributeGrammar &AG,
   // Phase 4: total orders — either directly from the OAG partitions or via
   // the SNC-to-l-ordered transformation.
   Phase.reset();
-  if (G.Classes.Class == AgClass::OAG) {
-    G.Transform = uniformInstances(AG, G.Classes.Oag.Partitions);
-  } else {
-    G.Transform = sncToLOrdered(AG, G.Classes.Snc, Opts.Reuse);
+  {
+    FNC2_SPAN("generate.transform");
+    if (G.Classes.Class == AgClass::OAG) {
+      G.Transform = uniformInstances(AG, G.Classes.Oag.Partitions);
+    } else {
+      G.Transform = sncToLOrdered(AG, G.Classes.Snc, Opts.Reuse);
+    }
   }
   G.Times.Transform = Phase.seconds();
   if (!G.Transform.Success) {
@@ -60,13 +74,17 @@ GeneratedEvaluator fnc2::generateEvaluator(const AttributeGrammar &AG,
 
   // Phase 5: visit sequences.
   Phase.reset();
-  if (!buildVisitSequences(AG, G.Transform, G.Plan, Diags))
-    return G;
+  {
+    FNC2_SPAN("generate.visitseq");
+    if (!buildVisitSequences(AG, G.Transform, G.Plan, Diags))
+      return G;
+  }
   G.Times.VisitSeq = Phase.seconds();
 
   // Phase 6: space optimization (memory map).
   if (Opts.SpaceOptimize) {
     Phase.reset();
+    FNC2_SPAN("generate.storage");
     G.Storage = analyzeStorage(AG, G.Plan);
     G.Times.Storage = Phase.seconds();
   }

@@ -2,6 +2,8 @@
 
 #include "gfa/GrammarFlow.h"
 
+#include "support/Trace.h"
+
 using namespace fnc2;
 
 PhylumRelation::PhylumRelation(const AttributeGrammar &AG) {
@@ -46,6 +48,7 @@ static OccId symbolBase(const AttributeGrammar &AG, ProdId P, unsigned Pos) {
 
 Digraph fnc2::buildAugmentedGraph(const AttributeGrammar &AG, ProdId P,
                                   const AugmentOptions &Opts) {
+  FNC2_COUNT("gfa.graphs_built", 1);
   const Production &Pr = AG.prod(P);
   const ProductionInfo &PI = AG.info(P);
   Digraph G(PI.numOccs());
@@ -64,6 +67,7 @@ Digraph fnc2::buildAugmentedGraph(const AttributeGrammar &AG, ProdId P,
 }
 
 BitMatrix fnc2::closureOf(const Digraph &G) {
+  FNC2_COUNT("gfa.closures", 1);
   unsigned N = G.size();
   BitMatrix M(N, N);
   for (unsigned I = 0; I != N; ++I)

@@ -2,12 +2,29 @@
 
 #include "incremental/Incremental.h"
 
+#include "support/Trace.h"
+
 using namespace fnc2;
 
+std::span<const CounterField<IncrementalStats>> IncrementalStats::schema() {
+  static constexpr CounterField<IncrementalStats> Fields[] = {
+      {"inc.rules_reevaluated", &IncrementalStats::RulesReevaluated},
+      {"inc.rules_skipped", &IncrementalStats::RulesSkipped},
+      {"inc.visits_performed", &IncrementalStats::VisitsPerformed},
+      {"inc.visits_skipped", &IncrementalStats::VisitsSkipped},
+      {"inc.values_unchanged", &IncrementalStats::ValuesUnchanged},
+  };
+  return Fields;
+}
+
 bool IncrementalEvaluator::initial(Tree &T, DiagnosticEngine &Diags) {
+  FNC2_SPAN("inc.initial");
   Dirty.clear();
   EditSites.clear();
   Changed.clear();
+  WriteClock = 0;
+  LastWrite.clear();
+  RevisitStamp.clear();
   return Exhaustive.evaluate(T, Diags);
 }
 
@@ -71,6 +88,7 @@ bool IncrementalEvaluator::execEvalIncremental(
       AnyArgChanged |= argChanged(N, Arg);
     if (TargetComputed && !AnyArgChanged) {
       ++Stats.RulesSkipped;
+      FNC2_COUNT("inc.rules_skipped", 1);
       continue;
     }
 
@@ -85,6 +103,7 @@ bool IncrementalEvaluator::execEvalIncremental(
       Args.push_back(readOcc(AG, N, Arg));
     Value NewVal = Rule.Fn(Args);
     ++Stats.RulesReevaluated;
+    FNC2_COUNT("inc.rules_reevaluated", 1);
 
     unsigned NumAttrs = static_cast<unsigned>(
         AG.phylum(AG.prod(Site->Prod).Lhs).Attrs.size());
@@ -101,11 +120,13 @@ bool IncrementalEvaluator::execEvalIncremental(
     }
     if (OldVal && valueEqual(*OldVal, NewVal)) {
       ++Stats.ValuesUnchanged; // status: unchanged — propagation stops here
+      FNC2_COUNT("inc.values_unchanged", 1);
       continue;
     }
     markChanged(Site, Idx,
                 NumAttrs + static_cast<unsigned>(
                                AG.prod(Site->Prod).Locals.size()));
+    LastWrite[Site] = ++WriteClock;
     writeOcc(AG, N, T, std::move(NewVal));
   }
   return true;
@@ -122,6 +143,7 @@ bool IncrementalEvaluator::revisit(TreeNode *N, unsigned VisitNo,
     return false;
   }
   ++Stats.VisitsPerformed;
+  FNC2_SPAN("inc.visit");
 
   for (unsigned I = Seq->BeginIndex[VisitNo - 1] + 1;; ++I) {
     const VisitInstr &Instr = Seq->Instrs[I];
@@ -143,17 +165,39 @@ bool IncrementalEvaluator::revisit(TreeNode *N, unsigned VisitNo,
             MustDescend = true;
             break;
           }
+      // Revisit memo: this exact visit already ran this update and no EVAL
+      // wrote into the son since (its inherited context is bit-identical),
+      // so the descent would recompute everything to the same values. The
+      // dirty marks and changed marks that triggered MustDescend persist
+      // for the whole update; this is what keeps the start-anywhere climb
+      // from redoing the edit region once per ancestor level.
+      if (MustDescend && !Child->AttrComputed.empty()) {
+        auto It = RevisitStamp.find(Child);
+        if (It != RevisitStamp.end() && Instr.VisitNo <= It->second.size()) {
+          uint64_t Stamp = It->second[Instr.VisitNo - 1];
+          auto LW = LastWrite.find(Child);
+          uint64_t Last = LW == LastWrite.end() ? 0 : LW->second;
+          if (Stamp != 0 && Last < Stamp)
+            MustDescend = false;
+        }
+      }
       if (MustDescend) {
         Child->PartitionId = Instr.ChildPartition;
         if (!revisit(Child, Instr.VisitNo, Diags))
           return false;
       } else {
         ++Stats.VisitsSkipped;
+        FNC2_COUNT("inc.visits_skipped", 1);
       }
       break;
     }
-    case VisitInstr::Op::Leave:
+    case VisitInstr::Op::Leave: {
+      auto &Stamps = RevisitStamp[N];
+      if (Stamps.size() < Seq->NumVisits)
+        Stamps.resize(Seq->NumVisits, 0);
+      Stamps[VisitNo - 1] = WriteClock + 1; // +1: 0 is "never ran"
       return true;
+    }
     case VisitInstr::Op::Begin:
       assert(false && "BEGIN inside a visit body");
       return false;
@@ -175,8 +219,12 @@ bool IncrementalEvaluator::revisitAll(TreeNode *N, DiagnosticEngine &Diags) {
 
 bool IncrementalEvaluator::update(Tree &T, DiagnosticEngine &Diags,
                                   UpdateStrategy Strategy) {
+  FNC2_SPAN("inc.update");
   const AttributeGrammar &AG = *Plan.AG;
   Changed.clear();
+  WriteClock = 0;
+  LastWrite.clear();
+  RevisitStamp.clear();
   bool Ok = true;
 
   if (Strategy == UpdateStrategy::FromRoot || EditSites.empty()) {

@@ -39,6 +39,8 @@
 namespace fnc2 {
 
 /// Counters demonstrating that work is proportional to the affected region.
+/// Reset/merge/export semantics are derived from schema()
+/// (support/Metrics.h), shared with the other evaluators' stats structs.
 struct IncrementalStats {
   uint64_t RulesReevaluated = 0;
   uint64_t RulesSkipped = 0;   ///< EVAL cutoffs (arguments unchanged).
@@ -46,7 +48,17 @@ struct IncrementalStats {
   uint64_t VisitsSkipped = 0;  ///< VISIT cutoffs (clean son).
   uint64_t ValuesUnchanged = 0; ///< Recomputed but equal: propagation cut.
 
-  void reset() { *this = IncrementalStats(); }
+  /// Names and merge kinds of every counter above.
+  static std::span<const CounterField<IncrementalStats>> schema();
+
+  void reset() { statsReset(*this); }
+
+  /// Accumulates another run's counters (e.g. across a sequence of
+  /// updates).
+  void merge(const IncrementalStats &O) { statsMerge(*this, O); }
+
+  /// Publishes every counter into \p R under its "inc.*" schema name.
+  void exportTo(MetricsRegistry &R) const { statsExport(*this, R); }
 };
 
 enum class UpdateStrategy : uint8_t { FromRoot, StartAnywhere };
@@ -111,6 +123,19 @@ private:
   /// Attribute-changed marks for the current update (per node bitset);
   /// locals are tracked after the attributes.
   std::unordered_map<const TreeNode *, std::vector<uint8_t>> Changed;
+
+  /// Per-update revisit memo. The start-anywhere climb re-runs the full
+  /// visit protocol at every ancestor; without a memo each level would
+  /// re-descend into the (still dirty-marked, still changed-marked) edit
+  /// region and redo its rules, making the climb cost O(affected x depth).
+  /// WriteClock ticks on every attribute write; LastWrite records the tick
+  /// that last wrote into a node; RevisitStamp records, per (node, visit),
+  /// the clock at completion (+1, so 0 means "never ran this update"). A
+  /// completed visit with no later write into the node would recompute
+  /// byte-identical values — the descent is skipped.
+  uint64_t WriteClock = 0;
+  std::unordered_map<const TreeNode *, uint64_t> LastWrite;
+  std::unordered_map<const TreeNode *, std::vector<uint64_t>> RevisitStamp;
 };
 
 } // namespace fnc2

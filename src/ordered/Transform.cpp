@@ -2,6 +2,8 @@
 
 #include "ordered/Transform.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <deque>
 
@@ -238,6 +240,7 @@ TransformResult Transformer::run() {
 
 TransformResult fnc2::sncToLOrdered(const AttributeGrammar &AG,
                                     const SncResult &Snc, ReuseMode Mode) {
+  FNC2_SPAN("transform.snc_to_lordered");
   assert(Snc.IsSNC && "transformation requires a strongly non-circular AG");
   Transformer First(AG, Snc, Mode);
   TransformResult Best = First.run();
@@ -249,6 +252,7 @@ TransformResult fnc2::sncToLOrdered(const AttributeGrammar &AG,
   // a replacing partition must have at least as many sets as the replaced
   // one — until the total partition count stops shrinking.
   for (unsigned Round = 0; Round != 4; ++Round) {
+    FNC2_COUNT("transform.retro_rounds", 1);
     Transformer Next(AG, Snc, Mode);
     Next.WarmStart = Best.Partitions;
     for (auto &Cands : Next.WarmStart)
@@ -269,6 +273,7 @@ TransformResult fnc2::sncToLOrdered(const AttributeGrammar &AG,
 TransformResult
 fnc2::uniformInstances(const AttributeGrammar &AG,
                        const std::vector<TotallyOrderedPartition> &Parts) {
+  FNC2_SPAN("transform.uniform_instances");
   TransformResult R;
   R.Partitions.resize(AG.numPhyla());
   R.Instances.resize(AG.numProds());

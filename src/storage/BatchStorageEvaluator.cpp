@@ -2,6 +2,8 @@
 
 #include "storage/BatchStorageEvaluator.h"
 
+#include "support/Trace.h"
+
 using namespace fnc2;
 
 void BatchStorageEvaluator::setRootInherited(AttrId A, Value V) {
@@ -14,12 +16,14 @@ void BatchStorageEvaluator::setRootInherited(AttrId A, Value V) {
 }
 
 BatchStorageResult BatchStorageEvaluator::evaluate(std::vector<Tree> &Trees) {
+  FNC2_SPAN("batch.storage.evaluate");
   BatchStorageResult Result;
   Result.Outcomes.resize(Trees.size());
 
   std::vector<StorageStats> WorkerStats(Pool.numThreads());
 
   Pool.parallelFor(Trees.size(), [&](size_t I, unsigned Worker) {
+    FNC2_SPAN("batch.storage.tree");
     // A fresh interpreter per tree: the assignment's variables and stacks
     // are run-local cell banks, so sharing an instance across concurrent
     // trees would be meaningless as well as racy.

@@ -3,8 +3,23 @@
 #include "storage/StorageEvaluator.h"
 
 #include "eval/Evaluator.h"
+#include "support/Trace.h"
 
 using namespace fnc2;
+
+std::span<const CounterField<StorageStats>> StorageStats::schema() {
+  static constexpr CounterField<StorageStats> Fields[] = {
+      {"storage.peak_live_cells", &StorageStats::PeakLiveCells,
+       MergeKind::Max},
+      {"storage.tree_baseline_cells", &StorageStats::TreeBaselineCells},
+      {"storage.stack_pushes", &StorageStats::StackPushes},
+      {"storage.variable_writes", &StorageStats::VariableWrites},
+      {"storage.tree_writes", &StorageStats::TreeWrites},
+      {"storage.copies_skipped", &StorageStats::CopiesSkipped},
+      {"storage.rules_evaluated", &StorageStats::RulesEvaluated},
+  };
+  return Fields;
+}
 
 void StorageEvaluator::setRootInherited(AttrId A, Value V) {
   for (auto &[Attr, Val] : RootInh)
@@ -162,6 +177,7 @@ bool StorageEvaluator::execRule(TreeNode *N, RuleId R,
   // write is a no-op on the shared variable.
   if (SA.CopyEliminated[R]) {
     ++Stats.CopiesSkipped;
+    FNC2_COUNT("storage.copies_skipped", 1);
     const AttrOcc &Src = Rule.Args[0];
     unsigned TId = SA.Ids.idOfOcc(AG, Rule.Prod, Rule.Target);
     if (SA.ClassOf[TId] == StorageClass::Stack) {
@@ -208,6 +224,7 @@ bool StorageEvaluator::execRule(TreeNode *N, RuleId R,
       writeOcc(AG, N, Rule.Target, *V);
     }
     ++Stats.RulesEvaluated;
+    FNC2_COUNT("storage.rules", 1);
     return true;
   }
 
@@ -223,11 +240,13 @@ bool StorageEvaluator::execRule(TreeNode *N, RuleId R,
   }
   writeOccStored(N, Rule.Target, Rule.Fn(Args), Deaths);
   ++Stats.RulesEvaluated;
+  FNC2_COUNT("storage.rules", 1);
   return true;
 }
 
 bool StorageEvaluator::runVisit(TreeNode *N, unsigned VisitNo,
                                 DiagnosticEngine &Diags) {
+  FNC2_SPAN("storage.visit");
   const AttributeGrammar &AG = *Plan.AG;
   const VisitSequence *Seq = Plan.find(N->Prod, N->PartitionId);
   if (!Seq) {
@@ -283,6 +302,7 @@ bool StorageEvaluator::runVisit(TreeNode *N, unsigned VisitNo,
 }
 
 bool StorageEvaluator::evaluate(Tree &T, DiagnosticEngine &Diags) {
+  FNC2_SPAN("storage.tree");
   const AttributeGrammar &AG = *Plan.AG;
   TreeNode *Root = T.root();
   if (!Root) {
@@ -299,9 +319,11 @@ bool StorageEvaluator::evaluate(Tree &T, DiagnosticEngine &Diags) {
   VarsLive = 0;
 
   // Baseline: a tree-resident evaluator stores one cell per attribute (and
-  // local) instance.
+  // local) instance. Accumulates across evaluate() calls like every other
+  // summing counter (it used to be zeroed here, which under-reported the
+  // baseline — and inflated reductionFactor() — when one evaluator was
+  // reused over several trees).
   std::vector<TreeNode *> Work = {Root};
-  Stats.TreeBaselineCells = 0;
   while (!Work.empty()) {
     TreeNode *N = Work.back();
     Work.pop_back();

@@ -24,13 +24,17 @@
 #define FNC2_STORAGE_STORAGEEVALUATOR_H
 
 #include "storage/Lifetime.h"
+#include "support/Metrics.h"
 #include "tree/Tree.h"
 
 #include <unordered_map>
 
 namespace fnc2 {
 
-/// Dynamic storage counters.
+/// Dynamic storage counters. Reset/merge/export semantics are derived from
+/// schema() (support/Metrics.h): every counter sums on merge except
+/// PeakLiveCells, whose merge is the maximum — the largest single-tree
+/// working set seen by any worker.
 struct StorageStats {
   uint64_t PeakLiveCells = 0;   ///< Max simultaneous var+stack+tree cells.
   uint64_t TreeBaselineCells = 0; ///< Instances a tree-resident run stores.
@@ -46,21 +50,16 @@ struct StorageStats {
                : double(TreeBaselineCells) / double(PeakLiveCells);
   }
 
-  void reset() { *this = StorageStats(); }
+  /// Names and merge kinds of every counter above.
+  static std::span<const CounterField<StorageStats>> schema();
 
-  /// Accumulates another worker's counters (batch join). Counters add up;
-  /// the peak is a per-run maximum, so the merged peak is the largest
-  /// single-tree working set seen by any worker.
-  void merge(const StorageStats &O) {
-    PeakLiveCells = PeakLiveCells > O.PeakLiveCells ? PeakLiveCells
-                                                    : O.PeakLiveCells;
-    TreeBaselineCells += O.TreeBaselineCells;
-    StackPushes += O.StackPushes;
-    VariableWrites += O.VariableWrites;
-    TreeWrites += O.TreeWrites;
-    CopiesSkipped += O.CopiesSkipped;
-    RulesEvaluated += O.RulesEvaluated;
-  }
+  void reset() { statsReset(*this); }
+
+  /// Accumulates another worker's counters (batch join).
+  void merge(const StorageStats &O) { statsMerge(*this, O); }
+
+  /// Publishes every counter into \p R under its "storage.*" schema name.
+  void exportTo(MetricsRegistry &R) const { statsExport(*this, R); }
 };
 
 /// Interprets an EvaluationPlan under a StorageAssignment.

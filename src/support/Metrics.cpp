@@ -1,0 +1,105 @@
+//===- support/Metrics.cpp - Unified counter schema & registry -----------===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <cstdio>
+
+namespace fnc2 {
+
+MetricsRegistry::Entry *MetricsRegistry::find(std::string_view Name) {
+  for (Entry &E : Entries)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+void MetricsRegistry::add(std::string_view Name, uint64_t V, MergeKind Merge) {
+  if (Entry *E = find(Name)) {
+    E->Value = E->Merge == MergeKind::Sum ? E->Value + V
+                                          : std::max(E->Value, V);
+    return;
+  }
+  Entries.push_back(Entry{std::string(Name), V, Merge});
+}
+
+uint64_t MetricsRegistry::value(std::string_view Name) const {
+  for (const Entry &E : Entries)
+    if (E.Name == Name)
+      return E.Value;
+  return 0;
+}
+
+bool MetricsRegistry::contains(std::string_view Name) const {
+  for (const Entry &E : Entries)
+    if (E.Name == Name)
+      return true;
+  return false;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry &O) {
+  for (const Entry &E : O.Entries)
+    add(E.Name, E.Value, E.Merge);
+}
+
+void MetricsRegistry::reset() {
+  for (Entry &E : Entries)
+    E.Value = 0;
+}
+
+std::string MetricsRegistry::json() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const Entry &E : Entries) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += '"';
+    Out += jsonEscape(E.Name);
+    Out += "\": ";
+    char Buf[24];
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(E.Value));
+    Out += Buf;
+  }
+  Out += "}";
+  return Out;
+}
+
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace fnc2

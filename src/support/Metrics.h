@@ -1,0 +1,115 @@
+//===- support/Metrics.h - Unified counter schema & registry ----*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics substrate of the observability layer. Two pieces:
+///
+///  * CounterField schemas: every evaluator stats struct (EvalStats,
+///    IncrementalStats, StorageStats) publishes a schema() listing its
+///    counters with a name and a merge kind, and derives reset(), merge()
+///    and registry export from it. One implementation of those semantics
+///    replaces the three hand-rolled ones, whose behaviour used to drift
+///    (IncrementalStats had no merge at all; totals add on join while
+///    peaks take the maximum).
+///
+///  * MetricsRegistry: a flat, insertion-ordered bag of named counters —
+///    the common landing zone for stats exports and trace counters, and
+///    the source of the flat metrics JSON exporter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_SUPPORT_METRICS_H
+#define FNC2_SUPPORT_METRICS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fnc2 {
+
+/// How a counter combines when two accumulators join (batch workers, or
+/// one evaluator reused over several trees): totals add, peaks keep the
+/// largest single observation.
+enum class MergeKind : uint8_t { Sum, Max };
+
+/// Schema entry describing one named counter field of a stats struct \p S.
+template <typename S> struct CounterField {
+  const char *Name;
+  uint64_t S::*Member;
+  MergeKind Merge = MergeKind::Sum;
+};
+
+/// Zeroes every schema counter of \p Stats.
+template <typename S> void statsReset(S &Stats) {
+  for (const CounterField<S> &F : S::schema())
+    Stats.*(F.Member) = 0;
+}
+
+/// Accumulates \p From into \p Into field-wise under the schema merge
+/// kinds.
+template <typename S> void statsMerge(S &Into, const S &From) {
+  for (const CounterField<S> &F : S::schema()) {
+    uint64_t V = From.*(F.Member);
+    uint64_t &D = Into.*(F.Member);
+    D = F.Merge == MergeKind::Sum ? D + V : std::max(D, V);
+  }
+}
+
+/// A flat registry of named counters. Not synchronized: accumulate one per
+/// thread (or per worker) and merge() after the join, exactly like the
+/// stats structs themselves.
+class MetricsRegistry {
+public:
+  struct Entry {
+    std::string Name;
+    uint64_t Value = 0;
+    MergeKind Merge = MergeKind::Sum;
+  };
+
+  /// Combines \p V into counter \p Name (created on first use); Sum
+  /// counters add, Max counters keep the larger value.
+  void add(std::string_view Name, uint64_t V,
+           MergeKind Merge = MergeKind::Sum);
+
+  /// Value of \p Name, or 0 when the counter was never touched.
+  uint64_t value(std::string_view Name) const;
+  bool contains(std::string_view Name) const;
+
+  /// Joins another registry entry-wise under each entry's merge kind.
+  void merge(const MetricsRegistry &O);
+
+  /// Zeroes every value but keeps the names (a schema-preserving reset).
+  void reset();
+  void clear() { Entries.clear(); }
+
+  size_t size() const { return Entries.size(); }
+  const std::vector<Entry> &entries() const { return Entries; }
+
+  /// Flat JSON object {"name": value, ...} in insertion order.
+  std::string json() const;
+
+private:
+  Entry *find(std::string_view Name);
+
+  std::vector<Entry> Entries;
+};
+
+/// Exports every schema counter of \p Stats into \p R under its schema
+/// name (merging with whatever the registry already holds).
+template <typename S> void statsExport(const S &Stats, MetricsRegistry &R) {
+  for (const CounterField<S> &F : S::schema())
+    R.add(F.Name, Stats.*(F.Member), F.Merge);
+}
+
+/// Escapes \p S for inclusion inside a JSON string literal.
+std::string jsonEscape(std::string_view S);
+
+} // namespace fnc2
+
+#endif // FNC2_SUPPORT_METRICS_H

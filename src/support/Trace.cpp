@@ -1,0 +1,228 @@
+//===- support/Trace.cpp - Structured tracing implementation -------------===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace fnc2 {
+namespace trace {
+
+namespace detail {
+
+std::atomic<TraceCollector *> GCollector{nullptr};
+std::atomic<uint64_t> GEpoch{0};
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+/// Per-thread cache of the registered buffer, keyed by install epoch. A
+/// changed epoch means the cached pointer may belong to a dead collector;
+/// it is then discarded without being touched.
+struct BufCache {
+  uint64_t Epoch = 0;
+  TraceCollector::ThreadBuf *Buf = nullptr;
+};
+thread_local BufCache TLCache;
+} // namespace
+
+TraceCollector::ThreadBuf *currentBuf() {
+  // Steady-state fast path: one epoch load and a compare. The collector
+  // pointer is only consulted on an epoch change (install/uninstall happen
+  // at quiescent points, so a matching epoch proves the cache is current).
+  uint64_t E = GEpoch.load(std::memory_order_acquire);
+  if (TLCache.Epoch == E)
+    return TLCache.Buf;
+  TraceCollector *C = GCollector.load(std::memory_order_acquire);
+  TLCache.Buf = C ? C->bufForCurrentThread() : nullptr;
+  TLCache.Epoch = E;
+  return TLCache.Buf;
+}
+
+} // namespace detail
+
+bool enabled() {
+  return detail::GCollector.load(std::memory_order_relaxed) != nullptr;
+}
+
+TraceCollector::~TraceCollector() { uninstall(); }
+
+void TraceCollector::install() {
+  CalTicks0 = detail::nowTicks();
+  CalNs0 = detail::nowNs();
+  detail::GCollector.store(this, std::memory_order_release);
+  detail::GEpoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void TraceCollector::uninstall() {
+  TraceCollector *Expected = this;
+  if (detail::GCollector.compare_exchange_strong(Expected, nullptr,
+                                                 std::memory_order_acq_rel)) {
+    detail::GEpoch.fetch_add(1, std::memory_order_acq_rel);
+    uint64_t DTicks = detail::nowTicks() - CalTicks0;
+    uint64_t DNs = detail::nowNs() - CalNs0;
+    NsPerTick = DTicks ? static_cast<double>(DNs) / DTicks : 1.0;
+  }
+}
+
+uint64_t TraceCollector::ticksToNs(uint64_t Ticks) const {
+  return CalNs0 +
+         static_cast<uint64_t>((Ticks - CalTicks0) * NsPerTick);
+}
+
+bool TraceCollector::installed() const {
+  return detail::GCollector.load(std::memory_order_acquire) == this;
+}
+
+TraceCollector::ThreadBuf *TraceCollector::bufForCurrentThread() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Bufs.push_back(std::make_unique<ThreadBuf>());
+  Bufs.back()->Tid = static_cast<uint32_t>(Bufs.size() - 1);
+  Bufs.back()->Events.reserve(4096); // keep early growth off the hot path
+  return Bufs.back().get();
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<TraceEvent> Out;
+  size_t N = 0;
+  for (const auto &B : Bufs)
+    N += B->Events.size();
+  Out.reserve(N);
+  for (const auto &B : Bufs)
+    Out.insert(Out.end(), B->Events.begin(), B->Events.end());
+  return Out;
+}
+
+size_t TraceCollector::threadCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Bufs.size();
+}
+
+size_t TraceCollector::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = 0;
+  for (const auto &B : Bufs)
+    N += B->Events.size();
+  return N;
+}
+
+std::string TraceCollector::summary() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  char Buf[64];
+  for (const auto &B : Bufs) {
+    if (Bufs.size() > 1) {
+      std::snprintf(Buf, sizeof(Buf), "-- thread %u --\n", B->Tid);
+      Out += Buf;
+    }
+    int Depth = 0;
+    for (const TraceEvent &E : B->Events) {
+      if (E.Ph == TraceEvent::Phase::End && Depth > 0)
+        --Depth;
+      for (int I = 0; I < Depth; ++I)
+        Out += "  ";
+      switch (E.Ph) {
+      case TraceEvent::Phase::Begin:
+        Out += "> ";
+        Out += E.Name;
+        ++Depth;
+        break;
+      case TraceEvent::Phase::End:
+        Out += "< ";
+        Out += E.Name;
+        break;
+      case TraceEvent::Phase::Counter:
+        std::snprintf(Buf, sizeof(Buf), "# %s +%llu", E.Name,
+                      static_cast<unsigned long long>(E.Value));
+        Out += Buf;
+        break;
+      case TraceEvent::Phase::Instant:
+        std::snprintf(Buf, sizeof(Buf), "! %s %llu", E.Name,
+                      static_cast<unsigned long long>(E.Value));
+        Out += Buf;
+        break;
+      }
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+std::string TraceCollector::chromeJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out = "{\"traceEvents\": [\n";
+  char Buf[128];
+  bool First = true;
+  for (const auto &B : Bufs) {
+    for (const TraceEvent &E : B->Events) {
+      if (!First)
+        Out += ",\n";
+      First = false;
+      // trace_event timestamps are microseconds; keep sub-us resolution
+      // with a fractional part.
+      double Us = static_cast<double>(ticksToNs(E.Ticks)) / 1000.0;
+      const char *Ph = "i";
+      switch (E.Ph) {
+      case TraceEvent::Phase::Begin:
+        Ph = "B";
+        break;
+      case TraceEvent::Phase::End:
+        Ph = "E";
+        break;
+      case TraceEvent::Phase::Counter:
+        Ph = "C";
+        break;
+      case TraceEvent::Phase::Instant:
+        Ph = "i";
+        break;
+      }
+      Out += "{\"name\": \"";
+      Out += jsonEscape(E.Name);
+      Out += "\", \"ph\": \"";
+      Out += Ph;
+      std::snprintf(Buf, sizeof(Buf),
+                    "\", \"ts\": %.3f, \"pid\": 1, \"tid\": %u", Us, E.Tid);
+      Out += Buf;
+      if (E.Ph == TraceEvent::Phase::Counter) {
+        std::snprintf(Buf, sizeof(Buf), ", \"args\": {\"value\": %llu}",
+                      static_cast<unsigned long long>(E.Value));
+        Out += Buf;
+      } else if (E.Ph == TraceEvent::Phase::Instant) {
+        std::snprintf(Buf, sizeof(Buf),
+                      ", \"s\": \"t\", \"args\": {\"value\": %llu}",
+                      static_cast<unsigned long long>(E.Value));
+        Out += Buf;
+      }
+      Out += "}";
+    }
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+void TraceCollector::countersTo(MetricsRegistry &R) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &B : Bufs) {
+    for (const TraceEvent &E : B->Events) {
+      if (E.Ph == TraceEvent::Phase::Counter) {
+        R.add(E.Name, E.Value);
+      } else if (E.Ph == TraceEvent::Phase::Instant) {
+        R.add(E.Name, 1);
+        R.add(std::string(E.Name) + ".total", E.Value);
+      }
+    }
+  }
+}
+
+} // namespace trace
+} // namespace fnc2

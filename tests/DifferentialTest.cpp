@@ -82,18 +82,25 @@ void runFamily(const AttributeGrammar &AG, const GeneratedEvaluator &GE,
   for (unsigned I = 0; I != NumTrees; ++I)
     Sources.push_back(Gen.generate(TreeSize + 31 * I));
 
-  // Reference: the sequential exhaustive evaluator.
+  // Reference: the sequential exhaustive evaluator. SeqTotal accumulates
+  // the whole family's per-tree counters for the merge checks below.
   std::vector<Tree> Reference;
+  std::vector<EvalStats> RefStats;
+  EvalStats SeqTotal;
   for (const Tree &T : Sources) {
     Tree R = cloneTree(AG, T);
     Evaluator E(GE.Plan);
     provideRootInherited(AG, E);
     DiagnosticEngine D;
     ASSERT_TRUE(E.evaluate(R, D)) << AG.Name << ": " << D.dump();
+    SeqTotal.merge(E.stats());
+    RefStats.push_back(E.stats());
     Reference.push_back(std::move(R));
   }
 
-  // Demand-driven evaluation agrees.
+  // Demand-driven evaluation agrees, and — computing each needed instance
+  // exactly once while skipping unneeded locals — never runs more rules
+  // than the exhaustive evaluator.
   for (unsigned I = 0; I != NumTrees; ++I) {
     Tree T = cloneTree(AG, Sources[I]);
     DemandEvaluator DE(AG);
@@ -102,6 +109,8 @@ void runFamily(const AttributeGrammar &AG, const GeneratedEvaluator &GE,
     ASSERT_TRUE(DE.evaluateAll(T, D)) << AG.Name << ": " << D.dump();
     expectSameAttribution(AG, Reference[I].root(), T.root(),
                           AG.Name + "/demand");
+    EXPECT_LE(DE.stats().RulesEvaluated, RefStats[I].RulesEvaluated)
+        << AG.Name << "/demand tree " << I;
   }
 
   // Storage-optimized evaluation agrees (mirroring writes into the tree).
@@ -114,6 +123,9 @@ void runFamily(const AttributeGrammar &AG, const GeneratedEvaluator &GE,
     ASSERT_TRUE(SE.evaluate(T, D)) << AG.Name << ": " << D.dump();
     expectSameAttribution(AG, Reference[I].root(), T.root(),
                           AG.Name + "/storage");
+    EXPECT_EQ(SE.stats().RulesEvaluated, RefStats[I].RulesEvaluated)
+        << AG.Name << "/storage tree " << I
+        << ": same plan, same tree, same rule executions";
   }
 
   // The batch engine at 4 threads matches the sequential evaluator on every
@@ -131,6 +143,12 @@ void runFamily(const AttributeGrammar &AG, const GeneratedEvaluator &GE,
     for (unsigned I = 0; I != NumTrees; ++I)
       expectSameAttribution(AG, Reference[I].root(), Batch[I].root(),
                             AG.Name + "/batch");
+    // Worker stats merged on join must equal the sequential totals: same
+    // trees, same plan, no work lost or double-counted across workers.
+    EXPECT_EQ(R.Stats.RulesEvaluated, SeqTotal.RulesEvaluated) << AG.Name;
+    EXPECT_EQ(R.Stats.VisitsPerformed, SeqTotal.VisitsPerformed) << AG.Name;
+    EXPECT_EQ(R.Stats.InstructionsExecuted, SeqTotal.InstructionsExecuted)
+        << AG.Name;
   }
   {
     std::vector<Tree> Batch;
@@ -183,6 +201,70 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<ClassicCase> &I) {
       return I.param.Name;
     });
+
+// Regression for the batch join: worker-local stats merged into the batch
+// result must equal the sequential per-tree totals, with Sum counters
+// adding and the storage peak merging as a maximum of per-worker peaks
+// (never a sum — a sum would report a working set no worker ever had).
+TEST(DifferentialTest, BatchStatsMergeMatchesSequential) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.dump();
+  DiagnosticEngine GD;
+  GeneratedEvaluator GE = generateEvaluator(AG, GD);
+  ASSERT_TRUE(GE.Success) << GD.dump();
+
+  TreeGenerator Gen(AG, 77);
+  std::vector<Tree> Sources;
+  for (unsigned I = 0; I != 24; ++I)
+    Sources.push_back(Gen.generate(80 + 17 * I));
+
+  // Sequential ground truth, accumulated through the schema-driven merge.
+  EvalStats SeqEval;
+  StorageStats SeqStorage;
+  uint64_t MaxPeak = 0;
+  for (const Tree &T : Sources) {
+    Tree A = cloneTree(AG, T);
+    Evaluator E(GE.Plan);
+    DiagnosticEngine D;
+    ASSERT_TRUE(E.evaluate(A, D)) << D.dump();
+    SeqEval.merge(E.stats());
+
+    Tree B = cloneTree(AG, T);
+    StorageEvaluator SE(GE.Plan, GE.Storage);
+    ASSERT_TRUE(SE.evaluate(B, D)) << D.dump();
+    SeqStorage.merge(SE.stats());
+    MaxPeak = std::max(MaxPeak, SE.stats().PeakLiveCells);
+  }
+  EXPECT_EQ(SeqStorage.PeakLiveCells, MaxPeak)
+      << "StorageStats::merge takes the max of peaks";
+
+  ThreadPool Pool(4);
+  {
+    std::vector<Tree> Batch;
+    for (const Tree &T : Sources)
+      Batch.push_back(cloneTree(AG, T));
+    BatchEvaluator BE(GE.Plan, Pool);
+    BatchResult R = BE.evaluate(Batch);
+    ASSERT_TRUE(R.allSucceeded());
+    EXPECT_EQ(R.Stats.RulesEvaluated, SeqEval.RulesEvaluated);
+    EXPECT_EQ(R.Stats.VisitsPerformed, SeqEval.VisitsPerformed);
+    EXPECT_EQ(R.Stats.InstructionsExecuted, SeqEval.InstructionsExecuted);
+  }
+  {
+    std::vector<Tree> Batch;
+    for (const Tree &T : Sources)
+      Batch.push_back(cloneTree(AG, T));
+    BatchStorageEvaluator BSE(GE.Plan, GE.Storage, Pool);
+    BatchStorageResult R = BSE.evaluate(Batch);
+    ASSERT_TRUE(R.allSucceeded());
+    EXPECT_EQ(R.Stats.RulesEvaluated, SeqStorage.RulesEvaluated);
+    EXPECT_EQ(R.Stats.TreeBaselineCells, SeqStorage.TreeBaselineCells);
+    EXPECT_EQ(R.Stats.CopiesSkipped, SeqStorage.CopiesSkipped);
+    EXPECT_EQ(R.Stats.PeakLiveCells, MaxPeak)
+        << "batch join must not sum per-worker peaks";
+  }
+}
 
 TEST(DifferentialTest, SpecGenSystemSuiteFamilyAgrees) {
   for (const workloads::SystemAg &Ag : workloads::systemAgSuite()) {

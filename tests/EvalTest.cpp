@@ -173,6 +173,53 @@ TEST(EvalTest, StatsCountRulesAndVisits) {
   EXPECT_EQ(E.stats().RulesEvaluated, 0u);
 }
 
+TEST(EvalTest, StatsExportToMetricsRegistry) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  EvaluationPlan Plan = planFor(AG);
+  Evaluator E(Plan);
+  DiagnosticEngine D;
+  Tree T = readTerm(AG, "Calc(Mul(Num<3>,Num<4>))", D);
+  ASSERT_TRUE(E.evaluate(T, D));
+
+  MetricsRegistry R;
+  E.stats().exportTo(R);
+  EXPECT_EQ(R.value("eval.rules_evaluated"), E.stats().RulesEvaluated);
+  EXPECT_EQ(R.value("eval.visits_performed"), E.stats().VisitsPerformed);
+  EXPECT_EQ(R.value("eval.instructions_executed"),
+            E.stats().InstructionsExecuted);
+  EXPECT_EQ(R.size(), EvalStats::schema().size());
+
+  // Exporting again merges (all EvalStats counters are sums).
+  E.stats().exportTo(R);
+  EXPECT_EQ(R.value("eval.rules_evaluated"), 2 * E.stats().RulesEvaluated);
+}
+
+// A memoizing demand evaluator computes each instance at most once, so on
+// the same tree it can never run more rule applications than the
+// exhaustive evaluator (which computes each instance exactly once).
+TEST(EvalTest, DemandEvaluatesNoMoreRulesThanExhaustive) {
+  for (int GrammarIdx = 0; GrammarIdx != 3; ++GrammarIdx) {
+    DiagnosticEngine Diags;
+    AttributeGrammar AG = GrammarIdx == 0   ? workloads::deskCalculator(Diags)
+                          : GrammarIdx == 1 ? workloads::binaryNumbers(Diags)
+                                            : workloads::repmin(Diags);
+    EvaluationPlan Plan = planFor(AG);
+    TreeGenerator Gen(AG, 41 + GrammarIdx);
+    Tree T = Gen.generate(200);
+    Tree T2(AG);
+    T2.setRoot(T.clone(T.root()));
+
+    Evaluator E(Plan);
+    DemandEvaluator DE(AG);
+    DiagnosticEngine D;
+    ASSERT_TRUE(E.evaluate(T, D)) << D.dump();
+    ASSERT_TRUE(DE.evaluateAll(T2, D)) << D.dump();
+    EXPECT_LE(DE.stats().RulesEvaluated, E.stats().RulesEvaluated) << AG.Name;
+    EXPECT_GT(DE.stats().RulesEvaluated, 0u) << AG.Name;
+  }
+}
+
 TEST(EvalTest, MissingRootInheritedReported) {
   DiagnosticEngine Diags;
   GrammarBuilder B("needs-input");

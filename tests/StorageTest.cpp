@@ -204,6 +204,62 @@ TEST(StorageEvaluatorTest, StacksDrainCompletely) {
   ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
 }
 
+// The storage evaluator executes every semantic rule the exhaustive one
+// does (eliminated copies are counted as executed: their effect — a cell
+// share — still happens), so RulesEvaluated must agree exactly on the same
+// tree, and the stats must round-trip through the metrics registry.
+TEST(StorageEvaluatorTest, RuleCountMatchesExhaustiveAndExports) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  EvaluationPlan Plan = planFor(AG);
+  StorageAssignment SA = analyzeStorage(AG, Plan);
+  TreeGenerator Gen(AG, 31);
+  Tree T = Gen.generate(250);
+  Tree T2(AG);
+  T2.setRoot(T.clone(T.root()));
+
+  Evaluator Ref(Plan);
+  StorageEvaluator SE(Plan, SA);
+  DiagnosticEngine D;
+  ASSERT_TRUE(Ref.evaluate(T, D)) << D.dump();
+  ASSERT_TRUE(SE.evaluate(T2, D)) << D.dump();
+  EXPECT_EQ(SE.stats().RulesEvaluated, Ref.stats().RulesEvaluated);
+
+  MetricsRegistry R;
+  SE.stats().exportTo(R);
+  EXPECT_EQ(R.value("storage.rules_evaluated"), SE.stats().RulesEvaluated);
+  EXPECT_EQ(R.value("storage.peak_live_cells"), SE.stats().PeakLiveCells);
+  EXPECT_EQ(R.size(), StorageStats::schema().size());
+}
+
+// Reusing one evaluator across trees accumulates the baseline alongside
+// the other counters instead of clobbering it to the last tree's value
+// (the old behaviour, which inflated reductionFactor() on reuse), and the
+// schema merge keeps the peak a maximum while everything else sums.
+TEST(StorageEvaluatorTest, BaselineAccumulatesAcrossRunsAndMergeKinds) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  EvaluationPlan Plan = planFor(AG);
+  StorageAssignment SA = analyzeStorage(AG, Plan);
+  StorageEvaluator SE(Plan, SA);
+  TreeGenerator Gen(AG, 12);
+  Tree T = Gen.generate(150);
+  DiagnosticEngine D;
+  ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
+  StorageStats One = SE.stats();
+  ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
+  EXPECT_EQ(SE.stats().TreeBaselineCells, 2 * One.TreeBaselineCells);
+  EXPECT_EQ(SE.stats().RulesEvaluated, 2 * One.RulesEvaluated);
+  EXPECT_EQ(SE.stats().PeakLiveCells, One.PeakLiveCells)
+      << "identical runs share the same peak working set";
+
+  StorageStats Merged = One;
+  Merged.merge(One);
+  EXPECT_EQ(Merged.TreeBaselineCells, 2 * One.TreeBaselineCells);
+  EXPECT_EQ(Merged.PeakLiveCells, One.PeakLiveCells)
+      << "the peak merges as a maximum, not a sum";
+}
+
 TEST(StorageIdMapTest, LocalsGetDistinctIds) {
   DiagnosticEngine Diags;
   GrammarBuilder B("with-locals");

@@ -3,6 +3,7 @@
 #include "support/BitMatrix.h"
 #include "support/Diagnostics.h"
 #include "support/Digraph.h"
+#include "support/Metrics.h"
 #include "support/TablePrinter.h"
 
 #include <gtest/gtest.h>
@@ -162,6 +163,87 @@ TEST(TablePrinterTest, AlignsColumns) {
 TEST(TablePrinterTest, NumberFormatting) {
   EXPECT_EQ(TablePrinter::num(1.234, 2), "1.23");
   EXPECT_EQ(TablePrinter::pct(12.34), "12.3%");
+}
+
+TEST(MetricsRegistryTest, AddMergesByKind) {
+  MetricsRegistry R;
+  R.add("total", 3);
+  R.add("total", 4);
+  EXPECT_EQ(R.value("total"), 7u) << "Sum counters add";
+  R.add("peak", 9, MergeKind::Max);
+  R.add("peak", 5, MergeKind::Max);
+  R.add("peak", 11, MergeKind::Max);
+  EXPECT_EQ(R.value("peak"), 11u) << "Max counters keep the largest";
+  EXPECT_EQ(R.value("never"), 0u);
+  EXPECT_TRUE(R.contains("total"));
+  EXPECT_FALSE(R.contains("never"));
+}
+
+TEST(MetricsRegistryTest, MergeAndResetPreserveSchema) {
+  MetricsRegistry A, B;
+  A.add("x", 1);
+  A.add("p", 4, MergeKind::Max);
+  B.add("x", 2);
+  B.add("p", 9, MergeKind::Max);
+  B.add("only_b", 5);
+  A.merge(B);
+  EXPECT_EQ(A.value("x"), 3u);
+  EXPECT_EQ(A.value("p"), 9u);
+  EXPECT_EQ(A.value("only_b"), 5u);
+
+  A.reset();
+  EXPECT_EQ(A.value("x"), 0u);
+  EXPECT_TRUE(A.contains("x")) << "reset keeps names, zeroes values";
+  A.clear();
+  EXPECT_FALSE(A.contains("x"));
+}
+
+TEST(MetricsRegistryTest, JsonIsFlatAndInsertionOrdered) {
+  MetricsRegistry R;
+  R.add("b.second", 2);
+  R.add("a.first", 1);
+  std::string J = R.json();
+  EXPECT_EQ(J, "{\"b.second\": 2, \"a.first\": 1}");
+  EXPECT_EQ(MetricsRegistry().json(), "{}");
+}
+
+TEST(MetricsRegistryTest, JsonEscapesNames) {
+  MetricsRegistry R;
+  R.add("quote\"and\\slash", 1);
+  EXPECT_EQ(R.json(), "{\"quote\\\"and\\\\slash\": 1}");
+  EXPECT_EQ(jsonEscape("tab\tnewline\n"), "tab\\tnewline\\n");
+}
+
+// The schema machinery itself, on a local struct: reset zeroes every
+// field, merge follows the per-field kind, export lands under the schema
+// names.
+struct TestStats {
+  uint64_t Total = 0;
+  uint64_t Peak = 0;
+
+  static std::span<const CounterField<TestStats>> schema() {
+    static constexpr CounterField<TestStats> Fields[] = {
+        {"test.total", &TestStats::Total},
+        {"test.peak", &TestStats::Peak, MergeKind::Max},
+    };
+    return Fields;
+  }
+};
+
+TEST(MetricsRegistryTest, SchemaDrivenStatsHelpers) {
+  TestStats A{10, 5}, B{3, 8};
+  statsMerge(A, B);
+  EXPECT_EQ(A.Total, 13u);
+  EXPECT_EQ(A.Peak, 8u);
+
+  MetricsRegistry R;
+  statsExport(A, R);
+  EXPECT_EQ(R.value("test.total"), 13u);
+  EXPECT_EQ(R.value("test.peak"), 8u);
+
+  statsReset(A);
+  EXPECT_EQ(A.Total, 0u);
+  EXPECT_EQ(A.Peak, 0u);
 }
 
 } // namespace
