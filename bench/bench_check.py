@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Tolerant bench-regression gate.
+
+Compares a freshly produced bench JSON against the committed baseline and
+fails (exit 1) when any shared data point regressed by more than the
+tolerance (default 25%). Lower-is-better metrics (ms_per_round) regress
+upward; higher-is-better metrics (trees_per_sec) regress downward.
+
+The diff is tolerant by design: points present on only one side are
+reported but never fail the gate (workloads/engines come and go), and
+improvements of any size pass. Benchmarks on shared CI machines are noisy;
+the 25% default is wide enough to only catch real structural regressions,
+e.g. an accidental O(N^2) in a hot loop.
+
+Usage: bench_check.py BASELINE.json FRESH.json [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+# metric name -> direction ("lower"/"higher" is better)
+METRICS = {
+    "ms_per_round": "lower",
+    "trees_per_sec": "higher",
+}
+
+
+def points(doc):
+    """Yields (key, metric, value) for every measurement row in a bench
+    JSON. Rows live in any top-level list of objects; the key is every
+    non-metric scalar field joined in name order."""
+    out = {}
+    for section, rows in doc.items():
+        if not isinstance(rows, list):
+            continue
+        for row in rows:
+            if not isinstance(row, dict):
+                continue
+            ident = tuple(
+                (k, row[k])
+                for k in sorted(row)
+                if k not in METRICS and isinstance(row[k], (str, int))
+            )
+            for metric, direction in METRICS.items():
+                if metric in row:
+                    out[(section, ident, metric)] = (float(row[metric]),
+                                                     direction)
+    return out
+
+
+def fmt(key):
+    section, ident, metric = key
+    fields = "/".join(str(v) for _, v in ident)
+    return f"{section}[{fields}].{metric}"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative regression (default 0.25 = 25%%)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = points(json.load(f))
+    with open(args.fresh) as f:
+        new = points(json.load(f))
+
+    failures = []
+    for key, (base_val, direction) in sorted(base.items()):
+        if key not in new:
+            print(f"  note: {fmt(key)} missing from fresh run (ignored)")
+            continue
+        new_val, _ = new[key]
+        if base_val <= 0:
+            continue
+        if direction == "lower":
+            ratio = new_val / base_val
+        else:
+            ratio = base_val / new_val if new_val > 0 else float("inf")
+        status = "ok"
+        if ratio > 1 + args.tolerance:
+            status = "REGRESSED"
+            failures.append(key)
+        if status != "ok" or ratio < 1 / (1 + args.tolerance):
+            word = "regression" if status == "REGRESSED" else "improvement"
+            print(f"  {status:>9}: {fmt(key)}: {base_val:g} -> {new_val:g} "
+                  f"({word} x{ratio:.2f})")
+
+    for key in sorted(set(new) - set(base)):
+        print(f"  note: {fmt(key)} new in fresh run (ignored)")
+
+    if failures:
+        print(f"bench_check: {len(failures)} data point(s) regressed beyond "
+              f"{args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    print(f"bench_check: {len(set(base) & set(new))} shared point(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

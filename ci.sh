@@ -8,9 +8,13 @@
 #      timings, tracing off vs on) and the batch-throughput bench; their
 #      JSON outputs are copied to BENCH_evaluators.json and BENCH_batch.json
 #      at the repo root on every run.
-#   3. ThreadSanitizer build (-DFNC2_SANITIZE=thread) + the concurrency,
-#      differential, trace and oracle tests, which exercise the shared-plan
-#      read path and the per-thread trace buffers from many threads.
+#   3. bench_check: the fresh bench JSONs are diffed against the committed
+#      baselines; any shared data point more than 25% worse fails the run
+#      (bench/bench_check.py — tolerant to added/removed points).
+#   4. ThreadSanitizer build (-DFNC2_SANITIZE=thread) + the concurrency,
+#      differential, interning, trace and oracle tests, which exercise the
+#      shared-plan read path, the string-interning pool and the per-thread
+#      trace buffers from many threads.
 #
 # Usage: ./ci.sh [jobs]
 set -eu
@@ -18,27 +22,37 @@ set -eu
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
 SRC="$(cd "$(dirname "$0")" && pwd)"
 
-echo "== [1/3] RelWithDebInfo build + full ctest =="
+echo "== [1/4] RelWithDebInfo build + full ctest =="
 cmake -B "$SRC/build" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$SRC/build" -j "$JOBS"
 ctest --test-dir "$SRC/build" --output-on-failure -j "$JOBS"
 
-echo "== [2/3] perf baselines (observability overhead + batch throughput) =="
+echo "== [2/4] perf baselines (observability overhead + batch throughput) =="
 cmake --build "$SRC/build" -j "$JOBS" \
       --target observability_overhead batch_throughput
 (cd "$SRC/build/bench" && ./observability_overhead)
 (cd "$SRC/build/bench" && ./batch_throughput --benchmark_min_time=0.05s)
+
+echo "== [3/4] bench_check against committed baselines =="
+if [ -f "$SRC/BENCH_evaluators.json" ]; then
+  python3 "$SRC/bench/bench_check.py" "$SRC/BENCH_evaluators.json" \
+          "$SRC/build/bench/evaluator_baselines.json"
+fi
+if [ -f "$SRC/BENCH_batch.json" ]; then
+  python3 "$SRC/bench/bench_check.py" "$SRC/BENCH_batch.json" \
+          "$SRC/build/bench/batch_throughput.json"
+fi
 cp "$SRC/build/bench/evaluator_baselines.json" "$SRC/BENCH_evaluators.json"
 cp "$SRC/build/bench/batch_throughput.json" "$SRC/BENCH_batch.json"
 echo "wrote BENCH_evaluators.json, BENCH_batch.json"
 
-echo "== [3/3] ThreadSanitizer build + race gate =="
+echo "== [4/4] ThreadSanitizer build + race gate =="
 cmake -B "$SRC/build-tsan" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DFNC2_SANITIZE=thread
 cmake --build "$SRC/build-tsan" -j "$JOBS" \
-      --target concurrency_test differential_test trace_test \
-               incremental_oracle_test
+      --target concurrency_test differential_test value_intern_test \
+               trace_test incremental_oracle_test
 ctest --test-dir "$SRC/build-tsan" --output-on-failure -j "$JOBS" \
-      -R 'ThreadPool|Concurrency|Differential|Trace|Oracle'
+      -R 'ThreadPool|Concurrency|Differential|ValueIntern|Trace|Oracle'
 
 echo "ci.sh: all green"

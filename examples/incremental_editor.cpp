@@ -23,7 +23,7 @@ using namespace fnc2;
 static int64_t result(const AttributeGrammar &AG, const Tree &T) {
   PhylumId Prog = AG.findPhylum("Prog");
   AttrId R = AG.findAttr(Prog, "result");
-  return T.root()->AttrVals[AG.attr(R).IndexInOwner].asInt();
+  return T.root()->attrVal(AG.attr(R).IndexInOwner).asInt();
 }
 
 int main() {

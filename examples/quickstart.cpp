@@ -62,7 +62,7 @@ int main() {
   // 4. Read the result: values are fixed-point in 1/1024 units.
   PhylumId Num = AG.findPhylum("Num");
   AttrId Val = AG.findAttr(Num, "val");
-  int64_t Raw = T.root()->AttrVals[AG.attr(Val).IndexInOwner].asInt();
+  int64_t Raw = T.root()->attrVal(AG.attr(Val).IndexInOwner).asInt();
   std::printf("110.101b = %ld/1024 = %.4f (expected 6.625)\n", (long)Raw,
               double(Raw) / 1024.0);
   std::printf("%llu rules evaluated in %llu visits\n",

@@ -28,9 +28,9 @@ BatchResult BatchEvaluator::evaluate(std::vector<Tree> &Trees) {
     // Each worker's trace events land in that thread's own buffer; the
     // spans nested under this one reconstruct the per-worker timeline.
     FNC2_SPAN("batch.tree");
-    // A fresh interpreter per tree: it is two references and the root
-    // inherited values, and it keeps tree failures fully isolated.
-    Evaluator E(Plan);
+    // A fresh evaluator per tree over the shared compiled plan: it is a few
+    // references plus buffers, and it keeps tree failures fully isolated.
+    Evaluator E(Plan, Compiled);
     for (const auto &[Attr, Val] : RootInh)
       E.setRootInherited(Attr, Val);
     BatchTreeOutcome &Out = Result.Outcomes[I];

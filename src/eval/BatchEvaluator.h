@@ -45,7 +45,7 @@ struct BatchResult {
 class BatchEvaluator {
 public:
   BatchEvaluator(const EvaluationPlan &Plan, ThreadPool &Pool)
-      : Plan(Plan), Pool(Pool) {}
+      : Plan(Plan), Pool(Pool), Compiled(Plan) {}
 
   /// Root inherited attributes applied to every tree of the batch.
   void setRootInherited(AttrId A, Value V);
@@ -59,6 +59,8 @@ public:
 private:
   const EvaluationPlan &Plan;
   ThreadPool &Pool;
+  /// Compiled once; shared read-only by every worker's evaluator.
+  CompiledPlan Compiled;
   std::vector<std::pair<AttrId, Value>> RootInh;
 };
 

@@ -1,0 +1,137 @@
+//===- eval/CompiledPlan.cpp ----------------------------------------------===//
+
+#include "eval/CompiledPlan.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace fnc2;
+
+bool fnc2::interpFallbackRequested() {
+  static const bool Requested = [] {
+    const char *Env = std::getenv("FNC2_INTERP_FALLBACK");
+    return Env && *Env && std::string_view(Env) != "0";
+  }();
+  return Requested;
+}
+
+namespace {
+
+/// Resolves one occurrence of \p Prod to its frame slot. Locals live behind
+/// the self node's attribute slots.
+SlotRef refOf(const AttributeGrammar &AG, const FrameShape &Shape,
+              const AttrOcc &O) {
+  SlotRef R;
+  if (O.isLexeme()) {
+    R.Kind = SlotRef::K::Lexeme;
+    return R;
+  }
+  if (O.isLocal()) {
+    R.Kind = SlotRef::K::Self;
+    R.Slot = static_cast<uint16_t>(Shape.NumAttrs + O.LocalIndex);
+    return R;
+  }
+  const unsigned Idx = AG.attr(O.Attr).IndexInOwner;
+  if (O.Pos == 0) {
+    R.Kind = SlotRef::K::Self;
+    R.Slot = static_cast<uint16_t>(Idx);
+    return R;
+  }
+  R.Kind = SlotRef::K::Child;
+  R.Child = static_cast<uint8_t>(O.Pos - 1);
+  R.Slot = static_cast<uint16_t>(Idx);
+  return R;
+}
+
+} // namespace
+
+CompiledPlan::CompiledPlan(const EvaluationPlan &Plan) : Src(&Plan) {
+  const AttributeGrammar &AG = *Plan.AG;
+
+  // Frame geometry per production.
+  Frames.resize(AG.Prods.size());
+  for (ProdId P = 0; P != AG.Prods.size(); ++P) {
+    const Production &Pr = AG.Prods[P];
+    Frames[P].NumAttrs =
+        static_cast<uint16_t>(AG.phylum(Pr.Lhs).Attrs.size());
+    Frames[P].NumLocals = static_cast<uint16_t>(Pr.Locals.size());
+  }
+
+  // Rules, dense by id: every occurrence resolved to a slot once.
+  ById.resize(AG.Rules.size());
+  for (RuleId R = 0; R != AG.Rules.size(); ++R) {
+    const SemanticRule &SR = AG.Rules[R];
+    const FrameShape &Shape = Frames[SR.Prod];
+    CompiledRule &C = ById[R];
+    C.Fn = SR.Fn ? &SR.Fn : nullptr;
+    C.IsCopy = SR.IsCopy;
+    C.Orig = R;
+    C.FirstArg = static_cast<uint32_t>(Args.size());
+    C.NumArgs = static_cast<uint16_t>(SR.Args.size());
+    MaxRuleArgs = std::max<unsigned>(MaxRuleArgs, C.NumArgs);
+    for (const AttrOcc &O : SR.Args)
+      Args.push_back(refOf(AG, Shape, O));
+    C.Target = refOf(AG, Shape, SR.Target);
+    assert(C.Target.Kind != SlotRef::K::Lexeme && "lexeme is read-only");
+  }
+
+  // Dense sequence table.
+  for (const VisitSequence &S : Plan.Seqs)
+    MaxPartition = std::max(MaxPartition, S.LhsPartition + 1);
+  SeqTable.assign(AG.Prods.size() * size_t(MaxPartition), -1);
+  Seqs.reserve(Plan.Seqs.size());
+
+  for (const VisitSequence &S : Plan.Seqs) {
+    CompiledSeq CS;
+    CS.Prod = S.Prod;
+    CS.Partition = S.LhsPartition;
+    CS.NumVisits = S.NumVisits;
+    CS.FirstInstr = static_cast<uint32_t>(Instrs.size());
+    CS.FirstBegin = static_cast<uint32_t>(BeginOfs.size());
+    CS.Frame = Frames[S.Prod];
+    for (const VisitInstr &VI : S.Instrs) {
+      CompiledInstr I;
+      switch (VI.Kind) {
+      case VisitInstr::Op::Begin:
+        // Dissolved: record where this visit's body starts.
+        BeginOfs.push_back(static_cast<uint32_t>(Instrs.size()) -
+                           CS.FirstInstr);
+        continue;
+      case VisitInstr::Op::Eval:
+        I.Kind = CompiledInstr::Op::Eval;
+        I.A = static_cast<uint32_t>(Rules.size());
+        I.B = static_cast<uint32_t>(VI.Rules.size());
+        for (RuleId R : VI.Rules)
+          Rules.push_back(ById[R]);
+        break;
+      case VisitInstr::Op::Visit:
+        I.Kind = CompiledInstr::Op::Visit;
+        I.Child = static_cast<uint8_t>(VI.Child);
+        I.VisitNo = static_cast<uint16_t>(VI.VisitNo);
+        I.A = VI.ChildPartition;
+        break;
+      case VisitInstr::Op::Leave:
+        I.Kind = CompiledInstr::Op::Leave;
+        I.VisitNo = static_cast<uint16_t>(VI.VisitNo);
+        break;
+      }
+      Instrs.push_back(I);
+    }
+    assert(BeginOfs.size() - CS.FirstBegin == S.NumVisits &&
+           "one BEGIN per visit");
+    SeqTable[size_t(S.Prod) * MaxPartition + S.LhsPartition] =
+        static_cast<int32_t>(Seqs.size());
+    Seqs.push_back(CS);
+  }
+
+  // Per-phylum attribute slot lists, in attribute-list order (which the
+  // root-inherited error reporting relies on).
+  InhByPhylum.resize(AG.Phyla.size());
+  SynByPhylum.resize(AG.Phyla.size());
+  for (PhylumId Ph = 0; Ph != AG.Phyla.size(); ++Ph)
+    for (AttrId A : AG.Phyla[Ph].Attrs) {
+      const Attribute &At = AG.attr(A);
+      SlotAttr SA{A, static_cast<uint16_t>(At.IndexInOwner)};
+      (At.isInherited() ? InhByPhylum : SynByPhylum)[Ph].push_back(SA);
+    }
+}

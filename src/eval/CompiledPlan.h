@@ -1,0 +1,160 @@
+//===- eval/CompiledPlan.h - Flat compiled evaluation plans -----*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The plan compiler: lowers an EvaluationPlan's interpreted VisitSequence
+/// objects into flat, cache-friendly instruction streams. The paper's claim
+/// (sections 3.2, 4) is that visit-sequence evaluators are efficient because
+/// the sequences compile to tight code; this is the runtime analogue for our
+/// interpreting engines.
+///
+/// Per (production, LHS partition) the compiler emits one contiguous run of
+/// CompiledInstr: BEGINs are dissolved into per-visit start offsets, EVAL
+/// rule sets become contiguous ranges of CompiledRule with every argument
+/// and target pre-resolved to a frame slot (no AG.attr()/occName lookups at
+/// eval time), and VISITs carry the son partition inline. Sequence lookup is
+/// a dense (production x partition) table plus a per-node cache, so
+/// Plan.find() leaves the hot loop entirely.
+///
+/// One CompiledPlan is immutable after construction and is shared by every
+/// engine — the batch evaluators compile once and hand the same plan to all
+/// workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_EVAL_COMPILEDPLAN_H
+#define FNC2_EVAL_COMPILEDPLAN_H
+
+#include "tree/Tree.h"
+#include "visitseq/VisitSequence.h"
+
+namespace fnc2 {
+
+/// Where a compiled rule argument is read from (or a target written to): a
+/// frame slot of the node itself, a frame slot of one of its children, or
+/// the node's lexeme.
+struct SlotRef {
+  enum class K : uint8_t { Self, Child, Lexeme };
+  K Kind = K::Self;
+  uint8_t Child = 0; ///< 0-based son index, valid for K::Child.
+  uint16_t Slot = 0; ///< Frame slot (attribute slots first, locals after).
+};
+
+/// One semantic rule with pre-resolved argument and target slots.
+struct CompiledRule {
+  const SemanticFn *Fn = nullptr; ///< Null when the rule lacks a function.
+  uint32_t FirstArg = 0;          ///< Into CompiledPlan::Args.
+  uint16_t NumArgs = 0;
+  bool IsCopy = false;
+  SlotRef Target; ///< Never K::Lexeme.
+  RuleId Orig = InvalidId;
+};
+
+/// One flat instruction. BEGIN is compiled away: each visit's body starts at
+/// the offset the owning sequence records and runs to its Leave.
+struct CompiledInstr {
+  enum class Op : uint8_t { Eval, Visit, Leave };
+  Op Kind = Op::Leave;
+  uint8_t Child = 0;    ///< Visit: 0-based son index.
+  uint16_t VisitNo = 0; ///< Visit: the son's visit number; Leave: own.
+  uint32_t A = 0;       ///< Eval: first index into Rules; Visit: son partition.
+  uint32_t B = 0;       ///< Eval: number of rules.
+};
+
+/// Frame geometry of nodes applying one production.
+struct FrameShape {
+  uint16_t NumAttrs = 0;
+  uint16_t NumLocals = 0;
+};
+
+/// The compiled form of one (production, LHS partition) visit sequence.
+struct CompiledSeq {
+  ProdId Prod = InvalidId;
+  unsigned Partition = 0;
+  unsigned NumVisits = 0;
+  uint32_t FirstInstr = 0; ///< Into CompiledPlan::Instrs.
+  uint32_t FirstBegin = 0; ///< Into CompiledPlan::BeginOfs, NumVisits entries.
+  FrameShape Frame;        ///< == Frames[Prod], duplicated for locality.
+};
+
+/// An attribute paired with its frame slot (phylum-indexed helper lists).
+struct SlotAttr {
+  AttrId Attr = InvalidId;
+  uint16_t Slot = 0;
+};
+
+/// Immutable compiled image of an EvaluationPlan. Construction resolves
+/// every occurrence to a slot once; evaluation touches only the flat pools.
+class CompiledPlan {
+public:
+  explicit CompiledPlan(const EvaluationPlan &Plan);
+
+  const EvaluationPlan &plan() const { return *Src; }
+  const AttributeGrammar &grammar() const { return *Src->AG; }
+
+  /// Dense (production, partition) sequence lookup.
+  const CompiledSeq *seqFor(ProdId P, unsigned Part) const {
+    if (Part >= MaxPartition)
+      return nullptr;
+    int32_t I = SeqTable[size_t(P) * MaxPartition + Part];
+    return I < 0 ? nullptr : &Seqs[static_cast<size_t>(I)];
+  }
+
+  /// Cached per-node lookup. Caches are nulled by Tree::resetAttributes(),
+  /// and within one evaluation only a single plan touches the tree, so a
+  /// non-null cache with a matching partition is this plan's.
+  const CompiledSeq *seqForNode(TreeNode *N) const {
+    if (const auto *S = static_cast<const CompiledSeq *>(N->SeqCache);
+        S && S->Partition == N->PartitionId) {
+      assert(S->Prod == N->Prod && "sequence cache crossed productions");
+      return S;
+    }
+    const CompiledSeq *S = seqFor(N->Prod, N->PartitionId);
+    N->SeqCache = S;
+    return S;
+  }
+
+  const FrameShape &frameOf(ProdId P) const { return Frames[P]; }
+  void ensureFrame(TreeNode *N) const {
+    const FrameShape &S = Frames[N->Prod];
+    N->ensureFrame(S.NumAttrs, S.NumLocals);
+  }
+
+  //===--- flat pools, read-only for the engines --------------------------===//
+
+  std::vector<CompiledInstr> Instrs;
+  /// Per-visit body start offsets, relative to the owning seq's FirstInstr.
+  std::vector<uint32_t> BeginOfs;
+  /// Eval-ordered rule pool: each Eval instruction's rules are contiguous.
+  std::vector<CompiledRule> Rules;
+  /// By RuleId, for engines that look rules up via DefiningRule.
+  std::vector<CompiledRule> ById;
+  std::vector<SlotRef> Args;
+  std::vector<CompiledSeq> Seqs;
+  /// [Prod * MaxPartition + Part] -> index into Seqs, -1 when absent.
+  std::vector<int32_t> SeqTable;
+  unsigned MaxPartition = 0;
+  std::vector<FrameShape> Frames; ///< By ProdId.
+  unsigned MaxRuleArgs = 0;       ///< Widest argument list, sizes ArgBufs.
+
+  /// Inherited / synthesized attributes of each phylum with their slots (in
+  /// phylum attribute-list order), for root-inherited installation and the
+  /// incremental evaluator's changed-attribute scans.
+  std::vector<std::vector<SlotAttr>> InhByPhylum;
+  std::vector<std::vector<SlotAttr>> SynByPhylum;
+
+private:
+  const EvaluationPlan *Src;
+};
+
+/// True when FNC2_INTERP_FALLBACK is set (non-empty, not "0") in the
+/// environment: engines that keep an interpreted VisitSequence walk default
+/// to it instead of the compiled stream. Differential safety net.
+bool interpFallbackRequested();
+
+} // namespace fnc2
+
+#endif // FNC2_EVAL_COMPILEDPLAN_H

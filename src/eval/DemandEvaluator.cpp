@@ -24,14 +24,17 @@ bool DemandEvaluator::runRule(TreeNode *N, RuleId R, DiagnosticEngine &Diags) {
                 "' has no semantic function");
     return false;
   }
-  std::vector<Value> Args;
-  Args.reserve(Rule.Args.size());
-  for (const AttrOcc &Arg : Rule.Args) {
+  // Force every argument before filling the shared buffer: forcing can
+  // recurse into runRule, reading cannot.
+  for (const AttrOcc &Arg : Rule.Args)
     if (!forceOcc(N, Arg, Diags))
       return false;
-    Args.push_back(readOcc(AG, N, Arg));
-  }
-  writeOcc(AG, N, Rule.Target, Rule.Fn(Args));
+  Value *Buf = ArgBuf.data();
+  const size_t NumArgs = Rule.Args.size();
+  for (size_t I = 0; I != NumArgs; ++I)
+    Buf[I] = readOcc(AG, N, Rule.Args[I]);
+  writeOcc(AG, N, Rule.Target,
+           Rule.Fn(std::span<const Value>(Buf, NumArgs)));
   ++Stats.RulesEvaluated;
   FNC2_COUNT("demand.rules", 1);
   return true;
@@ -45,7 +48,7 @@ bool DemandEvaluator::forceOcc(TreeNode *N, const AttrOcc &O,
     return true;
   ensureNodeStorage(AG, N);
   if (O.isLocal()) {
-    if (N->LocalComputed[O.LocalIndex])
+    if (N->localComputed(O.LocalIndex))
       return true;
     RuleId R = AG.info(N->Prod).DefiningRule[AG.info(N->Prod).occId(O)];
     if (R == InvalidId) {
@@ -62,7 +65,7 @@ bool DemandEvaluator::force(TreeNode *N, AttrId A, DiagnosticEngine &Diags) {
   const Attribute &At = AG.attr(A);
   unsigned Idx = At.IndexInOwner;
   ensureNodeStorage(AG, N);
-  if (N->AttrComputed[Idx])
+  if (N->attrComputed(Idx))
     return true;
 
   auto Key = std::make_pair(static_cast<const TreeNode *>(N), Idx);
@@ -101,8 +104,8 @@ bool DemandEvaluator::force(TreeNode *N, AttrId A, DiagnosticEngine &Diags) {
     // Root: externally provided.
     for (auto &[Attr, Val] : RootInh)
       if (Attr == A) {
-        N->AttrVals[Idx] = Val;
-        N->AttrComputed[Idx] = 1;
+        N->Slots[Idx] = Val;
+        N->setSlotComputed(Idx);
         Ok = true;
       }
     if (!Ok)
@@ -111,7 +114,7 @@ bool DemandEvaluator::force(TreeNode *N, AttrId A, DiagnosticEngine &Diags) {
   }
 
   InProgress.pop_back();
-  return Ok && N->AttrComputed[Idx];
+  return Ok && N->attrComputed(Idx);
 }
 
 static bool forceSubtree(DemandEvaluator &E, const AttributeGrammar &AG,

@@ -22,13 +22,20 @@
 #include "eval/Evaluator.h"
 #include "tree/Tree.h"
 
+#include <algorithm>
+
 namespace fnc2 {
 
 /// Evaluates attributes on demand with memoization and run-time cycle
 /// detection (so it handles any non-circular AG, even outside SNC).
 class DemandEvaluator {
 public:
-  explicit DemandEvaluator(const AttributeGrammar &AG) : AG(AG) {}
+  explicit DemandEvaluator(const AttributeGrammar &AG) : AG(AG) {
+    size_t MaxArgs = 0;
+    for (const SemanticRule &R : AG.Rules)
+      MaxArgs = std::max(MaxArgs, R.Args.size());
+    ArgBuf.resize(MaxArgs);
+  }
 
   void setRootInherited(AttrId A, Value V);
 
@@ -52,6 +59,9 @@ private:
   std::vector<std::pair<AttrId, Value>> RootInh;
   /// In-progress markers for cycle detection: (node, attr index) pairs.
   std::vector<std::pair<const TreeNode *, unsigned>> InProgress;
+  /// Reusable argument buffer (filled only after all forces complete, so
+  /// nested rule evaluations never clobber it).
+  std::vector<Value> ArgBuf;
 };
 
 } // namespace fnc2

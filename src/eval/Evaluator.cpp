@@ -16,17 +16,11 @@ std::span<const CounterField<EvalStats>> EvalStats::schema() {
 }
 
 void fnc2::ensureNodeStorage(const AttributeGrammar &AG, TreeNode *N) {
+  if (N->hasFrame())
+    return;
   const Production &Pr = AG.prod(N->Prod);
-  unsigned NumAttrs = static_cast<unsigned>(AG.phylum(Pr.Lhs).Attrs.size());
-  if (N->AttrVals.size() != NumAttrs) {
-    N->AttrVals.assign(NumAttrs, Value());
-    N->AttrComputed.assign(NumAttrs, 0);
-  }
-  unsigned NumLocals = static_cast<unsigned>(Pr.Locals.size());
-  if (N->LocalVals.size() != NumLocals) {
-    N->LocalVals.assign(NumLocals, Value());
-    N->LocalComputed.assign(NumLocals, 0);
-  }
+  N->ensureFrame(static_cast<unsigned>(AG.phylum(Pr.Lhs).Attrs.size()),
+                 static_cast<unsigned>(Pr.Locals.size()));
 }
 
 const Value &fnc2::readOcc(const AttributeGrammar &AG, TreeNode *N,
@@ -34,39 +28,175 @@ const Value &fnc2::readOcc(const AttributeGrammar &AG, TreeNode *N,
   if (O.isLexeme())
     return N->Lexeme;
   if (O.isLocal()) {
-    assert(N->LocalComputed[O.LocalIndex] && "local read before definition");
-    return N->LocalVals[O.LocalIndex];
+    const unsigned Slot = N->FrameAttrs + O.LocalIndex;
+    assert(N->slotComputed(Slot) && "local read before definition");
+    return N->Slots[Slot];
   }
   TreeNode *Site = O.Pos == 0 ? N : N->child(O.Pos - 1);
-  unsigned Idx = AG.attr(O.Attr).IndexInOwner;
-  ensureNodeStorage(AG, Site);
-  assert(Site->AttrComputed[Idx] && "attribute read before definition");
-  return Site->AttrVals[Idx];
+  const unsigned Idx = AG.attr(O.Attr).IndexInOwner;
+  // The frame is guaranteed: self frames are ensured by the visit prologue,
+  // child frames by the inherited-attribute writes / visits that precede
+  // any read in a well-formed sequence.
+  assert(Site->hasFrame() && "attribute read before storage was ensured");
+  assert(Site->slotComputed(Idx) && "attribute read before definition");
+  return Site->Slots[Idx];
 }
 
 void fnc2::writeOcc(const AttributeGrammar &AG, TreeNode *N, const AttrOcc &O,
                     Value V) {
   assert(!O.isLexeme() && "lexeme is read-only");
   if (O.isLocal()) {
-    N->LocalVals[O.LocalIndex] = std::move(V);
-    N->LocalComputed[O.LocalIndex] = 1;
+    const unsigned Slot = N->FrameAttrs + O.LocalIndex;
+    N->Slots[Slot] = std::move(V);
+    N->setSlotComputed(Slot);
     return;
   }
   TreeNode *Site = O.Pos == 0 ? N : N->child(O.Pos - 1);
   ensureNodeStorage(AG, Site);
-  unsigned Idx = AG.attr(O.Attr).IndexInOwner;
-  Site->AttrVals[Idx] = std::move(V);
-  Site->AttrComputed[Idx] = 1;
+  const unsigned Idx = AG.attr(O.Attr).IndexInOwner;
+  Site->Slots[Idx] = std::move(V);
+  Site->setSlotComputed(Idx);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluator
+//===----------------------------------------------------------------------===//
+
+Evaluator::Evaluator(const EvaluationPlan &Plan)
+    : Plan(Plan), OwnedCP(std::make_unique<CompiledPlan>(Plan)),
+      CP(OwnedCP.get()), UseInterp(interpFallbackRequested()) {
+  RootInhVals.resize(Plan.AG->Attrs.size());
+  RootInhSet.assign(Plan.AG->Attrs.size(), 0);
+  ArgBuf.resize(CP->MaxRuleArgs);
+}
+
+Evaluator::Evaluator(const EvaluationPlan &Plan, const CompiledPlan &Compiled)
+    : Plan(Plan), CP(&Compiled), UseInterp(interpFallbackRequested()) {
+  assert(&Compiled.plan() == &Plan && "compiled plan from a different plan");
+  RootInhVals.resize(Plan.AG->Attrs.size());
+  RootInhSet.assign(Plan.AG->Attrs.size(), 0);
+  ArgBuf.resize(CP->MaxRuleArgs);
 }
 
 void Evaluator::setRootInherited(AttrId A, Value V) {
-  for (auto &[Attr, Val] : RootInh)
-    if (Attr == A) {
-      Val = std::move(V);
-      return;
-    }
-  RootInh.emplace_back(A, std::move(V));
+  assert(A < RootInhVals.size() && "unknown attribute");
+  RootInhVals[A] = std::move(V);
+  RootInhSet[A] = 1;
 }
+
+bool Evaluator::installRootInherited(TreeNode *Root, DiagnosticEngine &Diags) {
+  const AttributeGrammar &AG = *Plan.AG;
+  const PhylumId Start = AG.prod(Root->Prod).Lhs;
+  for (const SlotAttr &IA : CP->InhByPhylum[Start]) {
+    if (!RootInhSet[IA.Attr]) {
+      Diags.error("inherited attribute '" + AG.attr(IA.Attr).Name +
+                  "' of the start phylum was not provided");
+      return false;
+    }
+    Root->Slots[IA.Slot] = RootInhVals[IA.Attr];
+    Root->setSlotComputed(IA.Slot);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Compiled path
+//===----------------------------------------------------------------------===//
+
+bool Evaluator::execCompiledRule(TreeNode *N, const CompiledRule &R,
+                                 DiagnosticEngine &Diags) {
+  if (!R.Fn) {
+    const AttributeGrammar &AG = *Plan.AG;
+    const SemanticRule &SR = AG.rule(R.Orig);
+    Diags.error("rule for '" + AG.occName(SR.Prod, SR.Target) +
+                "' in operator '" + AG.prod(SR.Prod).Name +
+                "' has no semantic function");
+    return false;
+  }
+
+  const SlotRef *A = &CP->Args[R.FirstArg];
+  Value *Buf = ArgBuf.data();
+  for (unsigned I = 0; I != R.NumArgs; ++I) {
+    const SlotRef &Ref = A[I];
+    switch (Ref.Kind) {
+    case SlotRef::K::Self:
+      assert(N->slotComputed(Ref.Slot) && "read before definition");
+      Buf[I] = N->Slots[Ref.Slot];
+      break;
+    case SlotRef::K::Child: {
+      TreeNode *C = N->child(Ref.Child);
+      assert(C->hasFrame() && C->slotComputed(Ref.Slot) &&
+             "child read before definition");
+      Buf[I] = C->Slots[Ref.Slot];
+      break;
+    }
+    case SlotRef::K::Lexeme:
+      Buf[I] = N->Lexeme;
+      break;
+    }
+  }
+
+  Value Result = (*R.Fn)(std::span<const Value>(Buf, R.NumArgs));
+
+  const SlotRef &T = R.Target;
+  if (T.Kind == SlotRef::K::Self) {
+    N->Slots[T.Slot] = std::move(Result);
+    N->setSlotComputed(T.Slot);
+  } else {
+    TreeNode *C = N->child(T.Child);
+    CP->ensureFrame(C);
+    C->Slots[T.Slot] = std::move(Result);
+    C->setSlotComputed(T.Slot);
+  }
+  return true;
+}
+
+bool Evaluator::runCompiledVisit(TreeNode *N, const CompiledSeq *Seq,
+                                 unsigned VisitNo, DiagnosticEngine &Diags) {
+  assert(VisitNo >= 1 && VisitNo <= Seq->NumVisits && "visit out of range");
+  ++Stats.VisitsPerformed;
+  FNC2_SPAN("eval.visit");
+
+  const CompiledPlan &C = *CP;
+  const CompiledInstr *I =
+      &C.Instrs[Seq->FirstInstr + C.BeginOfs[Seq->FirstBegin + VisitNo - 1]];
+  for (;; ++I) {
+    ++Stats.InstructionsExecuted;
+    switch (I->Kind) {
+    case CompiledInstr::Op::Eval: {
+      const CompiledRule *R = &C.Rules[I->A];
+      for (uint32_t K = 0; K != I->B; ++K)
+        if (!execCompiledRule(N, R[K], Diags))
+          return false;
+      Stats.RulesEvaluated += I->B;
+      FNC2_COUNT("eval.rules", I->B);
+      break;
+    }
+    case CompiledInstr::Op::Visit: {
+      TreeNode *Child = N->child(I->Child);
+      Child->PartitionId = I->A;
+      const CompiledSeq *CS = C.seqForNode(Child);
+      if (!CS) {
+        Diags.error("no visit sequence for operator '" +
+                    Plan.AG->prod(Child->Prod).Name + "' under partition " +
+                    std::to_string(Child->PartitionId));
+        return false;
+      }
+      Child->ensureFrame(CS->Frame.NumAttrs, CS->Frame.NumLocals);
+      if (!runCompiledVisit(Child, CS, I->VisitNo, Diags))
+        return false;
+      break;
+    }
+    case CompiledInstr::Op::Leave:
+      assert(I->VisitNo == VisitNo && "mismatched LEAVE");
+      return true;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreted fallback
+//===----------------------------------------------------------------------===//
 
 bool Evaluator::execEval(TreeNode *N, const std::vector<RuleId> &Rules,
                          DiagnosticEngine &Diags) {
@@ -79,11 +209,12 @@ bool Evaluator::execEval(TreeNode *N, const std::vector<RuleId> &Rules,
                   "' has no semantic function");
       return false;
     }
-    std::vector<Value> Args;
-    Args.reserve(Rule.Args.size());
-    for (const AttrOcc &Arg : Rule.Args)
-      Args.push_back(readOcc(AG, N, Arg));
-    writeOcc(AG, N, Rule.Target, Rule.Fn(Args));
+    Value *Buf = ArgBuf.data();
+    size_t NumArgs = Rule.Args.size();
+    for (size_t I = 0; I != NumArgs; ++I)
+      Buf[I] = readOcc(AG, N, Rule.Args[I]);
+    writeOcc(AG, N, Rule.Target,
+             Rule.Fn(std::span<const Value>(Buf, NumArgs)));
     ++Stats.RulesEvaluated;
   }
   FNC2_COUNT("eval.rules", Rules.size());
@@ -130,36 +261,34 @@ bool Evaluator::runVisit(TreeNode *N, unsigned VisitNo,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
 bool Evaluator::evaluate(Tree &T, DiagnosticEngine &Diags) {
   FNC2_SPAN("eval.tree");
-  const AttributeGrammar &AG = *Plan.AG;
   TreeNode *Root = T.root();
   if (!Root) {
     Diags.error("cannot evaluate an empty tree");
     return false;
   }
   T.resetAttributes();
-  ensureNodeStorage(AG, Root);
+  CP->ensureFrame(Root);
   Root->PartitionId = Plan.RootPartition;
 
-  // Install the externally provided inherited attributes of the root.
-  PhylumId Start = AG.prod(Root->Prod).Lhs;
-  for (AttrId A : AG.phylum(Start).Attrs) {
-    const Attribute &At = AG.attr(A);
-    if (!At.isInherited())
-      continue;
-    bool Provided = false;
-    for (auto &[Attr, Val] : RootInh)
-      if (Attr == A) {
-        Root->AttrVals[At.IndexInOwner] = Val;
-        Root->AttrComputed[At.IndexInOwner] = 1;
-        Provided = true;
-      }
-    if (!Provided) {
-      Diags.error("inherited attribute '" + At.Name +
-                  "' of the start phylum was not provided");
+  if (!installRootInherited(Root, Diags))
+    return false;
+
+  if (!UseInterp) {
+    const CompiledSeq *Seq = CP->seqForNode(Root);
+    if (!Seq) {
+      Diags.error("no visit sequence for the root operator");
       return false;
     }
+    for (unsigned V = 1; V <= Seq->NumVisits; ++V)
+      if (!runCompiledVisit(Root, Seq, V, Diags))
+        return false;
+    return true;
   }
 
   const VisitSequence *Seq = Plan.find(Root->Prod, Root->PartitionId);

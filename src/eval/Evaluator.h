@@ -1,22 +1,27 @@
-//===- eval/Evaluator.h - Exhaustive visit-sequence interpreter -*- C++ -*-===//
+//===- eval/Evaluator.h - Exhaustive visit-sequence evaluator ---*- C++ -*-===//
 //
 // Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The exhaustive evaluator: a visit-sequence interpreter over attributed
-/// trees (paper section 2.1.1). On VISIT i,j it fetches the applied
-/// production at the j-th son, searches BEGIN i in the corresponding
-/// sequence (for the partition the VISIT carries) and executes until the
-/// matching LEAVE. Attributes are tree-resident in this evaluator; the
-/// storage-optimized variant lives in src/storage.
+/// The exhaustive evaluator (paper section 2.1.1). On VISIT i,j it fetches
+/// the applied production at the j-th son and executes that son's sequence
+/// body for visit i until the matching LEAVE. Attributes are tree-resident
+/// (frame slots) in this evaluator; the storage-optimized variant lives in
+/// src/storage.
+///
+/// By default the evaluator runs the CompiledPlan instruction stream (flat
+/// opcodes, pre-resolved slots, reusable argument buffer). The original
+/// VisitSequence interpreter is retained behind setUseInterpreted() /
+/// FNC2_INTERP_FALLBACK as a differential reference.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef FNC2_EVAL_EVALUATOR_H
 #define FNC2_EVAL_EVALUATOR_H
 
+#include "eval/CompiledPlan.h"
 #include "support/Metrics.h"
 #include "tree/Tree.h"
 #include "visitseq/VisitSequence.h"
@@ -43,14 +48,19 @@ struct EvalStats {
   void exportTo(MetricsRegistry &R) const { statsExport(*this, R); }
 };
 
-/// Interprets an EvaluationPlan over trees of its grammar.
+/// Evaluates an EvaluationPlan over trees of its grammar.
 class Evaluator {
 public:
-  explicit Evaluator(const EvaluationPlan &Plan) : Plan(Plan) {}
+  /// Compiles the plan privately.
+  explicit Evaluator(const EvaluationPlan &Plan);
+  /// Borrows an already-compiled plan (the batch engines compile once and
+  /// share it across workers). \p Compiled must outlive the evaluator and
+  /// have been compiled from \p Plan.
+  Evaluator(const EvaluationPlan &Plan, const CompiledPlan &Compiled);
 
   /// Provides the value of an inherited attribute of the start phylum;
   /// required before evaluate() when the start phylum has inherited
-  /// attributes.
+  /// attributes. Slot-indexed by attribute id: O(1).
   void setRootInherited(AttrId A, Value V);
 
   /// Evaluates every attribute instance of \p T. Returns false (with
@@ -61,22 +71,48 @@ public:
   const EvalStats &stats() const { return Stats; }
   void resetStats() { Stats.reset(); }
 
+  /// Selects the interpreted VisitSequence walk instead of the compiled
+  /// stream (both produce identical attributions, stats and traces).
+  void setUseInterpreted(bool B) { UseInterp = B; }
+  bool usesInterpreted() const { return UseInterp; }
+
+  const CompiledPlan &compiled() const { return *CP; }
+
 private:
+  bool installRootInherited(TreeNode *Root, DiagnosticEngine &Diags);
+
+  // Compiled path.
+  bool runCompiledVisit(TreeNode *N, const CompiledSeq *Seq, unsigned VisitNo,
+                        DiagnosticEngine &Diags);
+  bool execCompiledRule(TreeNode *N, const CompiledRule &R,
+                        DiagnosticEngine &Diags);
+
+  // Interpreted fallback.
   bool runVisit(TreeNode *N, unsigned VisitNo, DiagnosticEngine &Diags);
   bool execEval(TreeNode *N, const std::vector<RuleId> &Rules,
                 DiagnosticEngine &Diags);
 
   const EvaluationPlan &Plan;
+  std::unique_ptr<const CompiledPlan> OwnedCP;
+  const CompiledPlan *CP;
   EvalStats Stats;
-  std::vector<std::pair<AttrId, Value>> RootInh;
+  /// Root-inherited values indexed by AttrId (resolved to slots at compile
+  /// time; see CompiledPlan::InhByPhylum).
+  std::vector<Value> RootInhVals;
+  std::vector<uint8_t> RootInhSet;
+  /// Reusable argument buffer; semantic functions see a span into it.
+  std::vector<Value> ArgBuf;
+  bool UseInterp;
 };
 
-/// Makes sure a node's attribute/local slots exist (lazily sized from the
-/// grammar). Shared with the incremental evaluator.
+/// Makes sure a node's attribute frame exists (lazily sized from the
+/// grammar). Shared with the demand and incremental evaluators.
 void ensureNodeStorage(const AttributeGrammar &AG, TreeNode *N);
 
-/// Reads an attribute value from tree-resident storage, asserting it has
-/// been computed. \p N is the node the occurrence's production applies to.
+/// Reads an attribute value from tree-resident storage, asserting that the
+/// site's frame exists and the value has been computed (the frame is
+/// guaranteed by the visit prologue / preceding writes, so no re-check on
+/// every read). \p N is the node the occurrence's production applies to.
 const Value &readOcc(const AttributeGrammar &AG, TreeNode *N,
                      const AttrOcc &O);
 

@@ -41,140 +41,130 @@ IncrementalEvaluator::replaceSubtree(Tree &T, TreeNode *Old,
 }
 
 bool IncrementalEvaluator::isChanged(const TreeNode *Site,
-                                     unsigned Idx) const {
+                                     unsigned Slot) const {
   auto It = Changed.find(Site);
-  return It != Changed.end() && Idx < It->second.size() && It->second[Idx];
+  return It != Changed.end() && Slot < It->second.size() && It->second[Slot];
 }
 
-void IncrementalEvaluator::markChanged(const TreeNode *Site, unsigned Idx,
+void IncrementalEvaluator::markChanged(const TreeNode *Site, unsigned Slot,
                                        unsigned Count) {
   auto &Marks = Changed[Site];
   if (Marks.size() < Count)
     Marks.assign(Count, 0);
-  Marks[Idx] = 1;
+  Marks[Slot] = 1;
 }
 
-bool IncrementalEvaluator::argChanged(TreeNode *N, const AttrOcc &O) const {
-  const AttributeGrammar &AG = *Plan.AG;
-  if (O.isLexeme())
+bool IncrementalEvaluator::argChanged(TreeNode *N, const SlotRef &Ref) const {
+  if (Ref.Kind == SlotRef::K::Lexeme)
     return false;
-  if (O.isLocal()) {
-    unsigned NumAttrs = static_cast<unsigned>(
-        AG.phylum(AG.prod(N->Prod).Lhs).Attrs.size());
-    return isChanged(N, NumAttrs + O.LocalIndex);
-  }
-  const TreeNode *Site = O.Pos == 0 ? N : N->child(O.Pos - 1);
-  return isChanged(Site, AG.attr(O.Attr).IndexInOwner);
+  const TreeNode *Site =
+      Ref.Kind == SlotRef::K::Self ? N : N->child(Ref.Child);
+  return isChanged(Site, Ref.Slot);
 }
 
-bool IncrementalEvaluator::execEvalIncremental(
-    TreeNode *N, const std::vector<RuleId> &Rules, DiagnosticEngine &Diags) {
-  const AttributeGrammar &AG = *Plan.AG;
-  for (RuleId R : Rules) {
-    const SemanticRule &Rule = AG.rule(R);
-    const AttrOcc &T = Rule.Target;
-    TreeNode *Site = T.isLocal() || T.Pos == 0 ? N : N->child(T.Pos - 1);
-    ensureNodeStorage(AG, N);
-    ensureNodeStorage(AG, Site);
+bool IncrementalEvaluator::execEvalIncremental(TreeNode *N,
+                                               uint32_t FirstRule,
+                                               uint32_t NumRules,
+                                               DiagnosticEngine &Diags) {
+  for (uint32_t K = 0; K != NumRules; ++K) {
+    const CompiledRule &R = CP.Rules[FirstRule + K];
+    const SlotRef &T = R.Target;
+    TreeNode *Site = T.Kind == SlotRef::K::Self ? N : N->child(T.Child);
+    CP.ensureFrame(Site);
 
-    bool TargetComputed =
-        T.isLocal() ? (Site->LocalComputed.size() > T.LocalIndex &&
-                       Site->LocalComputed[T.LocalIndex])
-                    : Site->AttrComputed[AG.attr(T.Attr).IndexInOwner] != 0;
+    // The target's slot exists, so ensureFrame allocated a frame.
+    bool TargetComputed = Site->slotComputed(T.Slot);
 
     // Cutoff: nothing relevant changed and the old value exists.
     bool AnyArgChanged = false;
-    for (const AttrOcc &Arg : Rule.Args)
-      AnyArgChanged |= argChanged(N, Arg);
+    for (unsigned I = 0; I != R.NumArgs; ++I)
+      AnyArgChanged |= argChanged(N, CP.Args[R.FirstArg + I]);
     if (TargetComputed && !AnyArgChanged) {
       ++Stats.RulesSkipped;
       FNC2_COUNT("inc.rules_skipped", 1);
       continue;
     }
 
-    if (!Rule.Fn) {
-      Diags.error("rule for '" + AG.occName(Rule.Prod, T) +
+    if (!R.Fn) {
+      const AttributeGrammar &AG = *Plan.AG;
+      const SemanticRule &Rule = AG.rule(R.Orig);
+      Diags.error("rule for '" + AG.occName(Rule.Prod, Rule.Target) +
                   "' has no semantic function");
       return false;
     }
-    std::vector<Value> Args;
-    Args.reserve(Rule.Args.size());
-    for (const AttrOcc &Arg : Rule.Args)
-      Args.push_back(readOcc(AG, N, Arg));
-    Value NewVal = Rule.Fn(Args);
+    Value *Buf = ArgBuf.data();
+    for (unsigned I = 0; I != R.NumArgs; ++I) {
+      const SlotRef &Ref = CP.Args[R.FirstArg + I];
+      switch (Ref.Kind) {
+      case SlotRef::K::Self:
+        Buf[I] = N->Slots[Ref.Slot];
+        break;
+      case SlotRef::K::Child:
+        Buf[I] = N->child(Ref.Child)->Slots[Ref.Slot];
+        break;
+      case SlotRef::K::Lexeme:
+        Buf[I] = N->Lexeme;
+        break;
+      }
+    }
+    Value NewVal = (*R.Fn)(std::span<const Value>(Buf, R.NumArgs));
     ++Stats.RulesReevaluated;
     FNC2_COUNT("inc.rules_reevaluated", 1);
 
-    unsigned NumAttrs = static_cast<unsigned>(
-        AG.phylum(AG.prod(Site->Prod).Lhs).Attrs.size());
-    unsigned Idx;
-    const Value *OldVal = nullptr;
-    if (T.isLocal()) {
-      Idx = NumAttrs + T.LocalIndex;
-      if (TargetComputed)
-        OldVal = &Site->LocalVals[T.LocalIndex];
-    } else {
-      Idx = AG.attr(T.Attr).IndexInOwner;
-      if (TargetComputed)
-        OldVal = &Site->AttrVals[Idx];
-    }
-    if (OldVal && valueEqual(*OldVal, NewVal)) {
+    if (TargetComputed && valueEqual(Site->Slots[T.Slot], NewVal)) {
       ++Stats.ValuesUnchanged; // status: unchanged — propagation stops here
       FNC2_COUNT("inc.values_unchanged", 1);
       continue;
     }
-    markChanged(Site, Idx,
-                NumAttrs + static_cast<unsigned>(
-                               AG.prod(Site->Prod).Locals.size()));
+    const FrameShape &F = CP.frameOf(Site->Prod);
+    markChanged(Site, T.Slot, unsigned(F.NumAttrs) + F.NumLocals);
     LastWrite[Site] = ++WriteClock;
-    writeOcc(AG, N, T, std::move(NewVal));
+    Site->Slots[T.Slot] = std::move(NewVal);
+    Site->setSlotComputed(T.Slot);
   }
   return true;
 }
 
-bool IncrementalEvaluator::revisit(TreeNode *N, unsigned VisitNo,
+bool IncrementalEvaluator::revisit(TreeNode *N, const CompiledSeq *Seq,
+                                   unsigned VisitNo,
                                    DiagnosticEngine &Diags) {
-  const AttributeGrammar &AG = *Plan.AG;
-  ensureNodeStorage(AG, N);
-  const VisitSequence *Seq = Plan.find(N->Prod, N->PartitionId);
-  if (!Seq) {
-    Diags.error("no visit sequence for operator '" + AG.prod(N->Prod).Name +
-                "' during incremental update");
-    return false;
-  }
+  CP.ensureFrame(N);
   ++Stats.VisitsPerformed;
   FNC2_SPAN("inc.visit");
 
-  for (unsigned I = Seq->BeginIndex[VisitNo - 1] + 1;; ++I) {
-    const VisitInstr &Instr = Seq->Instrs[I];
-    switch (Instr.Kind) {
-    case VisitInstr::Op::Eval:
-      if (!execEvalIncremental(N, Instr.Rules, Diags))
+  const CompiledInstr *I =
+      &CP.Instrs[Seq->FirstInstr + CP.BeginOfs[Seq->FirstBegin + VisitNo - 1]];
+  for (;; ++I) {
+    switch (I->Kind) {
+    case CompiledInstr::Op::Eval:
+      if (!execEvalIncremental(N, I->A, I->B, Diags))
         return false;
       break;
-    case VisitInstr::Op::Visit: {
-      TreeNode *Child = N->child(Instr.Child);
+    case CompiledInstr::Op::Visit: {
+      TreeNode *Child = N->child(I->Child);
       // Descend only when something can differ below: an edit in the
       // subtree, a not-yet-evaluated (fresh) node, or a changed inherited
       // attribute of the son.
-      bool MustDescend = subtreeDirty(Child) || Child->AttrComputed.empty();
-      if (!MustDescend)
-        for (AttrId A : AG.phylum(AG.prod(Child->Prod).Lhs).Attrs)
-          if (AG.attr(A).isInherited() &&
-              isChanged(Child, AG.attr(A).IndexInOwner)) {
+      const bool Fresh = !Child->hasFrame() || Child->FrameAttrs == 0;
+      bool MustDescend = subtreeDirty(Child) || Fresh;
+      if (!MustDescend) {
+        const PhylumId Ph = Plan.AG->prod(Child->Prod).Lhs;
+        for (const SlotAttr &IA : CP.InhByPhylum[Ph])
+          if (isChanged(Child, IA.Slot)) {
             MustDescend = true;
             break;
           }
+      }
       // Revisit memo: this exact visit already ran this update and no EVAL
       // wrote into the son since (its inherited context is bit-identical),
       // so the descent would recompute everything to the same values. The
       // dirty marks and changed marks that triggered MustDescend persist
       // for the whole update; this is what keeps the start-anywhere climb
       // from redoing the edit region once per ancestor level.
-      if (MustDescend && !Child->AttrComputed.empty()) {
+      if (MustDescend && !Fresh) {
         auto It = RevisitStamp.find(Child);
-        if (It != RevisitStamp.end() && Instr.VisitNo <= It->second.size()) {
-          uint64_t Stamp = It->second[Instr.VisitNo - 1];
+        if (It != RevisitStamp.end() && I->VisitNo <= It->second.size()) {
+          uint64_t Stamp = It->second[I->VisitNo - 1];
           auto LW = LastWrite.find(Child);
           uint64_t Last = LW == LastWrite.end() ? 0 : LW->second;
           if (Stamp != 0 && Last < Stamp)
@@ -182,8 +172,15 @@ bool IncrementalEvaluator::revisit(TreeNode *N, unsigned VisitNo,
         }
       }
       if (MustDescend) {
-        Child->PartitionId = Instr.ChildPartition;
-        if (!revisit(Child, Instr.VisitNo, Diags))
+        Child->PartitionId = I->A;
+        const CompiledSeq *ChildSeq = CP.seqForNode(Child);
+        if (!ChildSeq) {
+          Diags.error("no visit sequence for operator '" +
+                      Plan.AG->prod(Child->Prod).Name +
+                      "' during incremental update");
+          return false;
+        }
+        if (!revisit(Child, ChildSeq, I->VisitNo, Diags))
           return false;
       } else {
         ++Stats.VisitsSkipped;
@@ -191,28 +188,25 @@ bool IncrementalEvaluator::revisit(TreeNode *N, unsigned VisitNo,
       }
       break;
     }
-    case VisitInstr::Op::Leave: {
+    case CompiledInstr::Op::Leave: {
       auto &Stamps = RevisitStamp[N];
       if (Stamps.size() < Seq->NumVisits)
         Stamps.resize(Seq->NumVisits, 0);
       Stamps[VisitNo - 1] = WriteClock + 1; // +1: 0 is "never ran"
       return true;
     }
-    case VisitInstr::Op::Begin:
-      assert(false && "BEGIN inside a visit body");
-      return false;
     }
   }
 }
 
 bool IncrementalEvaluator::revisitAll(TreeNode *N, DiagnosticEngine &Diags) {
-  const VisitSequence *Seq = Plan.find(N->Prod, N->PartitionId);
+  const CompiledSeq *Seq = CP.seqForNode(N);
   if (!Seq) {
     Diags.error("no visit sequence during incremental update");
     return false;
   }
   for (unsigned V = 1; V <= Seq->NumVisits; ++V)
-    if (!revisit(N, V, Diags))
+    if (!revisit(N, Seq, V, Diags))
       return false;
   return true;
 }
@@ -242,9 +236,8 @@ bool IncrementalEvaluator::update(Tree &T, DiagnosticEngine &Diags,
         // Did any synthesized attribute of N change? If not, the context
         // cannot observe the edit: stop climbing.
         bool SynChanged = false;
-        for (AttrId A : AG.phylum(AG.prod(N->Prod).Lhs).Attrs)
-          if (AG.attr(A).isSynthesized() &&
-              isChanged(N, AG.attr(A).IndexInOwner))
+        for (const SlotAttr &SA : CP.SynByPhylum[AG.prod(N->Prod).Lhs])
+          if (isChanged(N, SA.Slot))
             SynChanged = true;
         if (!SynChanged || !N->Parent)
           break;

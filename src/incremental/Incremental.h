@@ -67,7 +67,9 @@ enum class UpdateStrategy : uint8_t { FromRoot, StartAnywhere };
 class IncrementalEvaluator {
 public:
   explicit IncrementalEvaluator(const EvaluationPlan &Plan)
-      : Plan(Plan), Exhaustive(Plan) {}
+      : Plan(Plan), CP(Plan), Exhaustive(Plan, CP) {
+    ArgBuf.resize(CP.MaxRuleArgs);
+  }
 
   void setRootInherited(AttrId A, Value V) {
     Exhaustive.setRootInherited(A, std::move(V));
@@ -98,12 +100,16 @@ public:
 
 private:
   bool revisitAll(TreeNode *N, DiagnosticEngine &Diags);
-  bool revisit(TreeNode *N, unsigned VisitNo, DiagnosticEngine &Diags);
-  bool execEvalIncremental(TreeNode *N, const std::vector<RuleId> &Rules,
+  bool revisit(TreeNode *N, const CompiledSeq *Seq, unsigned VisitNo,
+               DiagnosticEngine &Diags);
+  bool execEvalIncremental(TreeNode *N, uint32_t FirstRule, uint32_t NumRules,
                            DiagnosticEngine &Diags);
-  bool isChanged(const TreeNode *Site, unsigned AttrIdx) const;
-  void markChanged(const TreeNode *Site, unsigned AttrIdx, unsigned Count);
-  bool argChanged(TreeNode *N, const AttrOcc &O) const;
+  bool isChanged(const TreeNode *Site, unsigned Slot) const;
+  void markChanged(const TreeNode *Site, unsigned Slot, unsigned Count);
+  /// Change test on a pre-resolved slot reference (frame slot numbering is
+  /// identical to the Changed-mark numbering: attributes first, locals
+  /// after).
+  bool argChanged(TreeNode *N, const SlotRef &Ref) const;
   bool subtreeDirty(const TreeNode *N) const {
     return Dirty.count(N) != 0;
   }
@@ -112,9 +118,14 @@ private:
   }
 
   const EvaluationPlan &Plan;
+  /// Compiled once here and shared with the embedded exhaustive evaluator,
+  /// so initial() and update() maintain the same per-node sequence caches.
+  CompiledPlan CP;
   Evaluator Exhaustive;
   IncrementalStats Stats;
   std::function<bool(const Value &, const Value &)> Equal;
+  /// Reusable argument buffer; semantic functions see a span into it.
+  std::vector<Value> ArgBuf;
 
   /// Nodes whose subtree contains an edit (edit roots and their ancestors).
   std::unordered_set<const TreeNode *> Dirty;

@@ -7,8 +7,8 @@
 using namespace fnc2;
 using namespace fnc2::olga;
 
-bool olga::applyBuiltin(const std::string &Name,
-                        const std::vector<Value> &Args, Value &Result) {
+bool olga::applyBuiltin(const std::string &Name, std::span<const Value> Args,
+                        Value &Result) {
   auto IsInts = [&](unsigned N) {
     if (Args.size() != N)
       return false;
@@ -161,14 +161,17 @@ Value olga::evalExpr(const Expr &E, EvalContext &Ctx,
   }
   case ExprKind::Lexeme:
   case ExprKind::AttrRef: {
-    assert(E.ArgIndex >= 0 && Ctx.OccArgs && "unlowered occurrence access");
-    return (*Ctx.OccArgs)[E.ArgIndex];
+    assert(E.ArgIndex >= 0 &&
+           static_cast<size_t>(E.ArgIndex) < Ctx.OccArgs.size() &&
+           "unlowered occurrence access");
+    return Ctx.OccArgs[E.ArgIndex];
   }
   case ExprKind::Name: {
     if (const Value *Bound = Ctx.lookup(E.Name))
       return *Bound;
-    if (E.ArgIndex >= 0 && Ctx.OccArgs)
-      return (*Ctx.OccArgs)[E.ArgIndex]; // local attribute occurrence
+    if (E.ArgIndex >= 0 &&
+        static_cast<size_t>(E.ArgIndex) < Ctx.OccArgs.size())
+      return Ctx.OccArgs[E.ArgIndex]; // local attribute occurrence
     if (Ctx.Prog) {
       auto It = Ctx.Prog->Consts.find(E.Name);
       if (It != Ctx.Prog->Consts.end())
@@ -239,7 +242,6 @@ Value olga::evalExpr(const Expr &E, EvalContext &Ctx,
         // Fresh frame: functions only see their parameters and constants.
         EvalContext Callee;
         Callee.Prog = Ctx.Prog;
-        Callee.OccArgs = nullptr;
         Callee.Fuel = Ctx.Fuel;
         for (size_t I = 0; I != Args.size(); ++I)
           Callee.Bindings.emplace_back(F.Params[I].first,

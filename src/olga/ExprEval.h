@@ -22,7 +22,7 @@ namespace fnc2::olga {
 /// constants) plus the occurrence argument vector for rule bodies.
 struct EvalContext {
   const Program *Prog = nullptr;
-  const std::vector<Value> *OccArgs = nullptr;
+  std::span<const Value> OccArgs;
   std::vector<std::pair<std::string, Value>> Bindings;
   /// Recursion fuel; hitting zero reports an error (molga is applicative,
   /// runaway recursion is a specification bug).
@@ -42,7 +42,7 @@ Value evalExpr(const Expr &E, EvalContext &Ctx, DiagnosticEngine &Diags);
 
 /// Applies a named builtin to argument values (shared with the constant
 /// folder); returns false if the name/arity is not a builtin.
-bool applyBuiltin(const std::string &Name, const std::vector<Value> &Args,
+bool applyBuiltin(const std::string &Name, std::span<const Value> Args,
                   Value &Result);
 
 } // namespace fnc2::olga

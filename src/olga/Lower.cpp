@@ -235,10 +235,10 @@ LoweredGrammar GrammarLowerer::run() {
       auto RuntimeRef = RuntimeDiags;
       const Expr *BodyPtr = &Body;
       SemanticFn Fn = [ProgRef, RuntimeRef,
-                       BodyPtr](const std::vector<Value> &OccArgs) {
+                       BodyPtr](std::span<const Value> OccArgs) {
         EvalContext Ctx;
         Ctx.Prog = ProgRef.get();
-        Ctx.OccArgs = &OccArgs;
+        Ctx.OccArgs = OccArgs;
         return evalExpr(*BodyPtr, Ctx, *RuntimeRef);
       };
 

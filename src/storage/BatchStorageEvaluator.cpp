@@ -24,10 +24,11 @@ BatchStorageResult BatchStorageEvaluator::evaluate(std::vector<Tree> &Trees) {
 
   Pool.parallelFor(Trees.size(), [&](size_t I, unsigned Worker) {
     FNC2_SPAN("batch.storage.tree");
-    // A fresh interpreter per tree: the assignment's variables and stacks
-    // are run-local cell banks, so sharing an instance across concurrent
-    // trees would be meaningless as well as racy.
-    StorageEvaluator E(Plan, SA);
+    // A fresh evaluator per tree over the shared compiled state: the
+    // assignment's variables and stacks are run-local cell banks, so
+    // sharing an instance across concurrent trees would be meaningless as
+    // well as racy.
+    StorageEvaluator E(Plan, SA, Compiled, CompiledSA);
     E.setMirrorToTree(MirrorToTree);
     for (const auto &[Attr, Val] : RootInh)
       E.setRootInherited(Attr, Val);

@@ -38,7 +38,8 @@ class BatchStorageEvaluator {
 public:
   BatchStorageEvaluator(const EvaluationPlan &Plan,
                         const StorageAssignment &SA, ThreadPool &Pool)
-      : Plan(Plan), SA(SA), Pool(Pool) {}
+      : Plan(Plan), SA(SA), Pool(Pool), Compiled(Plan),
+        CompiledSA(Compiled, SA) {}
 
   void setRootInherited(AttrId A, Value V);
 
@@ -51,6 +52,9 @@ private:
   const EvaluationPlan &Plan;
   const StorageAssignment &SA;
   ThreadPool &Pool;
+  /// Compiled once; shared read-only by every worker's evaluator.
+  CompiledPlan Compiled;
+  CompiledStorage CompiledSA;
   bool MirrorToTree = false;
   std::vector<std::pair<AttrId, Value>> RootInh;
 };

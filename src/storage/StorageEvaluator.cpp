@@ -21,13 +21,72 @@ std::span<const CounterField<StorageStats>> StorageStats::schema() {
   return Fields;
 }
 
-void StorageEvaluator::setRootInherited(AttrId A, Value V) {
-  for (auto &[Attr, Val] : RootInh)
-    if (Attr == A) {
-      Val = std::move(V);
-      return;
+//===----------------------------------------------------------------------===//
+// CompiledStorage
+//===----------------------------------------------------------------------===//
+
+CompiledStorage::CompiledStorage(const CompiledPlan &CP,
+                                 const StorageAssignment &SA) {
+  const AttributeGrammar &AG = CP.grammar();
+
+  // The Eval-ordered Rules copies share the ById entries' argument ranges,
+  // so resolving each rule once (dense by id) fills the whole Args pool.
+  Args.resize(CP.Args.size());
+  for (const CompiledRule &C : CP.ById) {
+    const SemanticRule &SR = AG.rule(C.Orig);
+    for (uint16_t I = 0; I != C.NumArgs; ++I) {
+      const AttrOcc &O = SR.Args[I];
+      if (O.isLexeme())
+        continue; // lexemes have no storage; the SlotRef kind short-circuits
+      unsigned Id = O.isLocal() ? SA.Ids.idOfLocal(SR.Prod, O.LocalIndex)
+                                : SA.Ids.idOfAttr(O.Attr);
+      Args[C.FirstArg + I] = {SA.ClassOf[Id], SA.GroupOf[Id]};
     }
-  RootInh.emplace_back(A, std::move(V));
+  }
+
+  Rules.resize(CP.Rules.size());
+  for (size_t I = 0; I != CP.Rules.size(); ++I) {
+    const CompiledRule &C = CP.Rules[I];
+    const SemanticRule &SR = AG.rule(C.Orig);
+    const AttrOcc &T = SR.Target;
+    unsigned Id = T.isLocal() ? SA.Ids.idOfLocal(SR.Prod, T.LocalIndex)
+                              : SA.Ids.idOfAttr(T.Attr);
+    Rules[I] = {SA.ClassOf[Id], SA.GroupOf[Id],
+                /*IsCopy=*/bool(SA.CopyEliminated[C.Orig]),
+                /*TargetDies=*/T.isLocal() || T.Pos != 0};
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// StorageEvaluator
+//===----------------------------------------------------------------------===//
+
+StorageEvaluator::StorageEvaluator(const EvaluationPlan &Plan,
+                                   const StorageAssignment &SA)
+    : Plan(Plan), SA(SA), OwnedCP(std::make_unique<CompiledPlan>(Plan)),
+      CP(OwnedCP.get()), OwnedCS(std::make_unique<CompiledStorage>(*CP, SA)),
+      CS(OwnedCS.get()), UseInterp(interpFallbackRequested()) {
+  RootInhVals.resize(Plan.AG->Attrs.size());
+  RootInhSet.assign(Plan.AG->Attrs.size(), 0);
+  ArgBuf.resize(CP->MaxRuleArgs);
+}
+
+StorageEvaluator::StorageEvaluator(const EvaluationPlan &Plan,
+                                   const StorageAssignment &SA,
+                                   const CompiledPlan &Compiled,
+                                   const CompiledStorage &CompiledSA)
+    : Plan(Plan), SA(SA), CP(&Compiled), CS(&CompiledSA),
+      UseInterp(interpFallbackRequested()) {
+  assert(&Compiled.plan() == &Plan && "compiled plan from a different plan");
+  RootInhVals.resize(Plan.AG->Attrs.size());
+  RootInhSet.assign(Plan.AG->Attrs.size(), 0);
+  ArgBuf.resize(CP->MaxRuleArgs);
+}
+
+void StorageEvaluator::setRootInherited(AttrId A, Value V) {
+  assert(A < RootInhVals.size() && "unknown attribute");
+  RootInhVals[A] = std::move(V);
+  RootInhSet[A] = 1;
 }
 
 void StorageEvaluator::noteLiveCells() {
@@ -43,6 +102,264 @@ void StorageEvaluator::shrinkDeadSuffix(StackGroup &G) {
     G.Dead.pop_back();
   }
 }
+
+// Baseline: a tree-resident evaluator stores one cell per attribute (and
+// local) instance. Accumulates across evaluate() calls like every other
+// summing counter (it used to be zeroed per run, which under-reported the
+// baseline — and inflated reductionFactor() — when one evaluator was
+// reused over several trees). The same walk stamps the compiled path's
+// per-node cell index arrays.
+void StorageEvaluator::countBaseline(TreeNode *Root) {
+  WalkBuf.clear();
+  WalkBuf.push_back(Root);
+  size_t TotalSlots = 0;
+  for (size_t I = 0; I != WalkBuf.size(); ++I) {
+    TreeNode *N = WalkBuf[I];
+    const FrameShape &F = CP->frameOf(N->Prod);
+    const size_t NumSlots = size_t(F.NumAttrs) + F.NumLocals;
+    Stats.TreeBaselineCells += NumSlots;
+    TotalSlots += NumSlots;
+    for (auto &C : N->Children)
+      WalkBuf.push_back(C.get());
+  }
+  if (UseInterp)
+    return;
+  CellIdxArena.assign(TotalSlots, -1);
+  int64_t *P = CellIdxArena.data();
+  for (TreeNode *N : WalkBuf) {
+    const FrameShape &F = CP->frameOf(N->Prod);
+    N->CellIdx = P;
+    P += size_t(F.NumAttrs) + F.NumLocals;
+  }
+}
+
+bool StorageEvaluator::installRootInherited(TreeNode *Root,
+                                            DiagnosticEngine &Diags) {
+  const AttributeGrammar &AG = *Plan.AG;
+  const PhylumId Start = AG.prod(Root->Prod).Lhs;
+  // Root installs never die: the write targets position 0, outside every
+  // chunk, so the death list stays empty.
+  std::vector<PendingDeath> RootDeaths;
+  for (AttrId A : AG.phylum(Start).Attrs) {
+    const Attribute &At = AG.attr(A);
+    if (!At.isInherited())
+      continue;
+    if (!RootInhSet[A]) {
+      Diags.error("inherited attribute '" + At.Name +
+                  "' of the start phylum was not provided");
+      return false;
+    }
+    if (UseInterp) {
+      writeOccStored(Root, AttrOcc::onSymbol(0, A), RootInhVals[A],
+                     RootDeaths);
+    } else {
+      SlotRef Ref;
+      Ref.Kind = SlotRef::K::Self;
+      Ref.Slot = static_cast<uint16_t>(At.IndexInOwner);
+      writeSlot(Root, Ref, SA.ClassOf[A], SA.GroupOf[A], /*Dies=*/false,
+                RootInhVals[A]);
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Compiled path
+//===----------------------------------------------------------------------===//
+
+const Value *StorageEvaluator::readSlot(TreeNode *N, const SlotRef &Ref,
+                                        const CompiledStorage::Ref &C) {
+  if (Ref.Kind == SlotRef::K::Lexeme)
+    return &N->Lexeme;
+  switch (C.Class) {
+  case StorageClass::Variable:
+    assert(VarSet[C.Group] && "variable read before write");
+    return &Vars[C.Group];
+  case StorageClass::Stack: {
+    TreeNode *Site = Ref.Kind == SlotRef::K::Self ? N : N->child(Ref.Child);
+    int64_t Idx = Site->CellIdx[Ref.Slot];
+    assert(Idx >= 0 && "read before definition");
+    StackGroup &G = Stacks[C.Group];
+    assert(static_cast<size_t>(Idx) < G.Cells.size() && !G.Dead[Idx] &&
+           "stale stack cell");
+    return &G.Cells[Idx];
+  }
+  case StorageClass::TreeCell: {
+    TreeNode *Site = Ref.Kind == SlotRef::K::Self ? N : N->child(Ref.Child);
+    assert(Site->hasFrame() && Site->slotComputed(Ref.Slot) &&
+           "tree-cell read before definition");
+    return &Site->Slots[Ref.Slot];
+  }
+  }
+  return nullptr;
+}
+
+void StorageEvaluator::mirrorWrite(TreeNode *N, const SlotRef &Ref, Value V) {
+  TreeNode *Site = Ref.Kind == SlotRef::K::Self ? N : N->child(Ref.Child);
+  CP->ensureFrame(Site);
+  Site->Slots[Ref.Slot] = std::move(V);
+  Site->setSlotComputed(Ref.Slot);
+}
+
+void StorageEvaluator::writeSlot(TreeNode *N, const SlotRef &Ref,
+                                 StorageClass Class, uint32_t Group,
+                                 bool Dies, Value V) {
+  if (MirrorToTree)
+    mirrorWrite(N, Ref, V);
+  switch (Class) {
+  case StorageClass::Variable:
+    if (!VarSet[Group]) {
+      VarSet[Group] = 1;
+      ++VarsLive;
+    }
+    Vars[Group] = std::move(V);
+    ++Stats.VariableWrites;
+    break;
+  case StorageClass::Stack: {
+    StackGroup &G = Stacks[Group];
+    G.Cells.push_back(std::move(V));
+    G.Dead.push_back(0);
+    TreeNode *Site = Ref.Kind == SlotRef::K::Self ? N : N->child(Ref.Child);
+    Site->CellIdx[Ref.Slot] = static_cast<int64_t>(G.Cells.size() - 1);
+    // LHS-synthesized results outlive this chunk: the parent adopts their
+    // cells when the VISIT returns. Everything else dies at our LEAVE.
+    if (Dies)
+      DeathBuf.push_back({Group, static_cast<unsigned>(G.Cells.size() - 1)});
+    ++Stats.StackPushes;
+    break;
+  }
+  case StorageClass::TreeCell:
+    if (!MirrorToTree)
+      mirrorWrite(N, Ref, std::move(V));
+    ++Stats.TreeWrites;
+    ++TreeCellsLive;
+    break;
+  }
+  noteLiveCells();
+}
+
+bool StorageEvaluator::execCompiledRule(TreeNode *N, uint32_t RI,
+                                        size_t DeathBase,
+                                        DiagnosticEngine &Diags) {
+  const CompiledRule &R = CP->Rules[RI];
+  const CompiledStorage::RuleInfo &SR = CS->Rules[RI];
+
+  if (!R.Fn) {
+    const AttributeGrammar &AG = *Plan.AG;
+    const SemanticRule &Rule = AG.rule(R.Orig);
+    Diags.error("rule for '" + AG.occName(Rule.Prod, Rule.Target) +
+                "' has no semantic function");
+    return false;
+  }
+
+  // Eliminated copies: the target shares the source's cell (stacks) or the
+  // write is a no-op on the shared variable.
+  if (SR.IsCopy) {
+    ++Stats.CopiesSkipped;
+    FNC2_COUNT("storage.copies_skipped", 1);
+    const SlotRef &Src = CP->Args[R.FirstArg];
+    if (SR.Class == StorageClass::Stack) {
+      TreeNode *SrcSite =
+          Src.Kind == SlotRef::K::Self ? N : N->child(Src.Child);
+      int64_t Idx = SrcSite->CellIdx[Src.Slot];
+      assert(Idx >= 0 && "eliminated copy reads an undefined source");
+      // A synthesized result sharing a cell must keep that cell alive past
+      // this chunk's LEAVE: cancel any death pending for it here (the
+      // parent's adoption then extends the lifetime, exactly the paper's
+      // delayed POP).
+      if (!SR.TargetDies)
+        for (size_t D = DeathBase; D != DeathBuf.size(); ++D)
+          if (DeathBuf[D].Group == SR.Group &&
+              DeathBuf[D].Index == static_cast<unsigned>(Idx)) {
+            DeathBuf.erase(DeathBuf.begin() + static_cast<ptrdiff_t>(D));
+            break;
+          }
+      const SlotRef &T = R.Target;
+      TreeNode *TSite = T.Kind == SlotRef::K::Self ? N : N->child(T.Child);
+      TSite->CellIdx[T.Slot] = Idx;
+    }
+    if (MirrorToTree)
+      mirrorWrite(N, R.Target, *readSlot(N, Src, CS->Args[R.FirstArg]));
+    ++Stats.RulesEvaluated;
+    FNC2_COUNT("storage.rules", 1);
+    return true;
+  }
+
+  Value *Buf = ArgBuf.data();
+  for (unsigned I = 0; I != R.NumArgs; ++I)
+    Buf[I] = *readSlot(N, CP->Args[R.FirstArg + I], CS->Args[R.FirstArg + I]);
+  Value Result = (*R.Fn)(std::span<const Value>(Buf, R.NumArgs));
+  writeSlot(N, R.Target, SR.Class, SR.Group, SR.TargetDies,
+            std::move(Result));
+  ++Stats.RulesEvaluated;
+  FNC2_COUNT("storage.rules", 1);
+  return true;
+}
+
+bool StorageEvaluator::runCompiledVisit(TreeNode *N, const CompiledSeq *Seq,
+                                        unsigned VisitNo,
+                                        DiagnosticEngine &Diags) {
+  FNC2_SPAN("storage.visit");
+  assert(VisitNo >= 1 && VisitNo <= Seq->NumVisits && "visit out of range");
+
+  const CompiledPlan &C = *CP;
+  // Cells created during this chunk die at its LEAVE (delayed POPs); the
+  // chunk's pending deaths are DeathBuf[DeathBase..].
+  const size_t DeathBase = DeathBuf.size();
+  const CompiledInstr *I =
+      &C.Instrs[Seq->FirstInstr + C.BeginOfs[Seq->FirstBegin + VisitNo - 1]];
+  for (;; ++I) {
+    switch (I->Kind) {
+    case CompiledInstr::Op::Eval:
+      for (uint32_t K = 0; K != I->B; ++K)
+        if (!execCompiledRule(N, I->A + K, DeathBase, Diags))
+          return false;
+      break;
+    case CompiledInstr::Op::Visit: {
+      TreeNode *Child = N->child(I->Child);
+      Child->PartitionId = I->A;
+      const CompiledSeq *ChildSeq = C.seqForNode(Child);
+      if (!ChildSeq) {
+        Diags.error("no visit sequence for operator '" +
+                    Plan.AG->prod(Child->Prod).Name + "' under partition " +
+                    std::to_string(Child->PartitionId));
+        return false;
+      }
+      Child->ensureFrame(ChildSeq->Frame.NumAttrs, ChildSeq->Frame.NumLocals);
+      // Watermark every stack: cells surviving the child's visit belong to
+      // its returned synthesized attributes and die at *this* LEAVE.
+      const size_t MarkBase = MarkBuf.size();
+      for (const StackGroup &G : Stacks)
+        MarkBuf.push_back(G.Cells.size());
+      if (!runCompiledVisit(Child, ChildSeq, I->VisitNo, Diags))
+        return false;
+      for (size_t S = 0; S != Stacks.size(); ++S)
+        for (size_t Cell = MarkBuf[MarkBase + S];
+             Cell < Stacks[S].Cells.size(); ++Cell)
+          if (!Stacks[S].Dead[Cell])
+            DeathBuf.push_back(
+                {static_cast<unsigned>(S), static_cast<unsigned>(Cell)});
+      MarkBuf.resize(MarkBase);
+      break;
+    }
+    case CompiledInstr::Op::Leave:
+      assert(I->VisitNo == VisitNo && "mismatched LEAVE");
+      for (size_t D = DeathBase; D != DeathBuf.size(); ++D) {
+        StackGroup &G = Stacks[DeathBuf[D].Group];
+        if (DeathBuf[D].Index < G.Cells.size())
+          G.Dead[DeathBuf[D].Index] = 1;
+      }
+      DeathBuf.resize(DeathBase);
+      for (StackGroup &G : Stacks)
+        shrinkDeadSuffix(G);
+      return true;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreted fallback
+//===----------------------------------------------------------------------===//
 
 const Value *StorageEvaluator::readOccStored(TreeNode *N, const AttrOcc &O) {
   const AttributeGrammar &AG = *Plan.AG;
@@ -65,7 +382,8 @@ const Value *StorageEvaluator::readOccStored(TreeNode *N, const AttrOcc &O) {
       return &G.Cells[Idx];
     }
     case StorageClass::TreeCell:
-      return &N->LocalVals[O.LocalIndex];
+      assert(N->hasFrame() && "local read before storage was ensured");
+      return &N->Slots[N->FrameAttrs + O.LocalIndex];
     }
   }
   TreeNode *Site = O.Pos == 0 ? N : N->child(O.Pos - 1);
@@ -87,7 +405,7 @@ const Value *StorageEvaluator::readOccStored(TreeNode *N, const AttrOcc &O) {
   }
   case StorageClass::TreeCell:
     ensureNodeStorage(AG, Site);
-    return &Site->AttrVals[AttrIdx];
+    return &Site->Slots[AttrIdx];
   }
   return nullptr;
 }
@@ -228,17 +546,18 @@ bool StorageEvaluator::execRule(TreeNode *N, RuleId R,
     return true;
   }
 
-  std::vector<Value> Args;
-  Args.reserve(Rule.Args.size());
-  for (const AttrOcc &Arg : Rule.Args) {
-    const Value *V = readOccStored(N, Arg);
+  Value *Buf = ArgBuf.data();
+  const size_t NumArgs = Rule.Args.size();
+  for (size_t I = 0; I != NumArgs; ++I) {
+    const Value *V = readOccStored(N, Rule.Args[I]);
     if (!V) {
       Diags.error("argument unavailable for rule '" + Rule.FnName + "'");
       return false;
     }
-    Args.push_back(*V);
+    Buf[I] = *V;
   }
-  writeOccStored(N, Rule.Target, Rule.Fn(Args), Deaths);
+  writeOccStored(N, Rule.Target,
+                 Rule.Fn(std::span<const Value>(Buf, NumArgs)), Deaths);
   ++Stats.RulesEvaluated;
   FNC2_COUNT("storage.rules", 1);
   return true;
@@ -301,6 +620,10 @@ bool StorageEvaluator::runVisit(TreeNode *N, unsigned VisitNo,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
 bool StorageEvaluator::evaluate(Tree &T, DiagnosticEngine &Diags) {
   FNC2_SPAN("storage.tree");
   const AttributeGrammar &AG = *Plan.AG;
@@ -317,43 +640,27 @@ bool StorageEvaluator::evaluate(Tree &T, DiagnosticEngine &Diags) {
   Stacks.assign(SA.NumStackGroups, StackGroup());
   TreeCellsLive = 0;
   VarsLive = 0;
+  DeathBuf.clear();
+  MarkBuf.clear();
 
-  // Baseline: a tree-resident evaluator stores one cell per attribute (and
-  // local) instance. Accumulates across evaluate() calls like every other
-  // summing counter (it used to be zeroed here, which under-reported the
-  // baseline — and inflated reductionFactor() — when one evaluator was
-  // reused over several trees).
-  std::vector<TreeNode *> Work = {Root};
-  while (!Work.empty()) {
-    TreeNode *N = Work.back();
-    Work.pop_back();
-    Stats.TreeBaselineCells +=
-        AG.phylum(AG.prod(N->Prod).Lhs).Attrs.size() +
-        AG.prod(N->Prod).Locals.size();
-    for (auto &C : N->Children)
-      Work.push_back(C.get());
-  }
+  countBaseline(Root);
 
   Root->PartitionId = Plan.RootPartition;
   ensureNodeStorage(AG, Root);
 
-  PhylumId Start = AG.prod(Root->Prod).Lhs;
-  std::vector<PendingDeath> RootDeaths;
-  for (AttrId A : AG.phylum(Start).Attrs) {
-    const Attribute &At = AG.attr(A);
-    if (!At.isInherited())
-      continue;
-    bool Provided = false;
-    for (auto &[Attr, Val] : RootInh)
-      if (Attr == A) {
-        writeOccStored(Root, AttrOcc::onSymbol(0, A), Val, RootDeaths);
-        Provided = true;
-      }
-    if (!Provided) {
-      Diags.error("inherited attribute '" + At.Name +
-                  "' of the start phylum was not provided");
+  if (!installRootInherited(Root, Diags))
+    return false;
+
+  if (!UseInterp) {
+    const CompiledSeq *Seq = CP->seqForNode(Root);
+    if (!Seq) {
+      Diags.error("no visit sequence for the root operator");
       return false;
     }
+    for (unsigned V = 1; V <= Seq->NumVisits; ++V)
+      if (!runCompiledVisit(Root, Seq, V, Diags))
+        return false;
+    return true;
   }
 
   const VisitSequence *Seq = Plan.find(Root->Prod, Root->PartitionId);

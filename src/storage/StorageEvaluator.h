@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A visit-sequence interpreter that executes under a StorageAssignment:
+/// A visit-sequence evaluator that executes under a StorageAssignment:
 /// variable-class attributes live in global variables, stack-class ones in
 /// global stacks (cells die at the LEAVE of the visit that created them —
 /// the paper's delayed POPs — and dead cells below a surviving one linger
@@ -18,11 +18,19 @@
 /// FNC-2 computes below-top access depths statically, which this dynamic
 /// bookkeeping generalizes while keeping reads assert-checked.
 ///
+/// By default the evaluator runs the CompiledPlan instruction stream with a
+/// CompiledStorage side table (classes and groups pre-resolved per rule and
+/// argument, cell indices in flat per-node arrays instead of hash maps,
+/// reusable death/mark buffers). The original hash-map interpreter is
+/// retained behind setUseInterpreted() / FNC2_INTERP_FALLBACK as a
+/// differential reference; both produce identical attributions and stats.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FNC2_STORAGE_STORAGEEVALUATOR_H
 #define FNC2_STORAGE_STORAGEEVALUATOR_H
 
+#include "eval/CompiledPlan.h"
 #include "storage/Lifetime.h"
 #include "support/Metrics.h"
 #include "tree/Tree.h"
@@ -62,12 +70,42 @@ struct StorageStats {
   void exportTo(MetricsRegistry &R) const { statsExport(*this, R); }
 };
 
-/// Interprets an EvaluationPlan under a StorageAssignment.
+/// Storage classes and groups resolved once per compiled rule/argument,
+/// parallel to CompiledPlan::Rules and CompiledPlan::Args (the CompiledRule
+/// SlotRefs already carry the site and frame slot; this adds where the
+/// value *lives*). Shared read-only across batch workers like the
+/// CompiledPlan itself.
+struct CompiledStorage {
+  struct Ref {
+    StorageClass Class = StorageClass::TreeCell;
+    uint32_t Group = 0;
+  };
+  struct RuleInfo {
+    StorageClass Class = StorageClass::TreeCell; ///< Target's class.
+    uint32_t Group = 0;                          ///< Target's group.
+    bool IsCopy = false;     ///< Eliminated by grouping: cell sharing only.
+    bool TargetDies = false; ///< Dies at the defining chunk's LEAVE
+                             ///< (everything but LHS-synthesized results).
+  };
+  std::vector<Ref> Args;       ///< Parallel to CompiledPlan::Args.
+  std::vector<RuleInfo> Rules; ///< Parallel to CompiledPlan::Rules.
+
+  CompiledStorage(const CompiledPlan &CP, const StorageAssignment &SA);
+};
+
+/// Evaluates an EvaluationPlan under a StorageAssignment.
 class StorageEvaluator {
 public:
-  StorageEvaluator(const EvaluationPlan &Plan, const StorageAssignment &SA)
-      : Plan(Plan), SA(SA) {}
+  /// Compiles the plan (and its storage side table) privately.
+  StorageEvaluator(const EvaluationPlan &Plan, const StorageAssignment &SA);
+  /// Borrows already-compiled state (the batch engine compiles once and
+  /// shares it across workers). \p Compiled / \p CompiledSA must outlive
+  /// the evaluator and have been compiled from \p Plan / \p SA.
+  StorageEvaluator(const EvaluationPlan &Plan, const StorageAssignment &SA,
+                   const CompiledPlan &Compiled,
+                   const CompiledStorage &CompiledSA);
 
+  /// Slot-indexed by attribute id: O(1).
   void setRootInherited(AttrId A, Value V);
 
   /// When set, every attribute write is mirrored into the tree slots so
@@ -78,6 +116,11 @@ public:
 
   const StorageStats &stats() const { return Stats; }
   void resetStats() { Stats.reset(); }
+
+  /// Selects the interpreted hash-map walk instead of the compiled stream
+  /// (both produce identical attributions, stats and traces).
+  void setUseInterpreted(bool B) { UseInterp = B; }
+  bool usesInterpreted() const { return UseInterp; }
 
 private:
   struct StackGroup {
@@ -91,29 +134,68 @@ private:
     unsigned Index;
   };
 
+  bool installRootInherited(TreeNode *Root, DiagnosticEngine &Diags);
+  void countBaseline(TreeNode *Root);
+
+  // Compiled path.
+  bool runCompiledVisit(TreeNode *N, const CompiledSeq *Seq, unsigned VisitNo,
+                        DiagnosticEngine &Diags);
+  bool execCompiledRule(TreeNode *N, uint32_t RI, size_t DeathBase,
+                        DiagnosticEngine &Diags);
+  const Value *readSlot(TreeNode *N, const SlotRef &Ref,
+                        const CompiledStorage::Ref &C);
+  void writeSlot(TreeNode *N, const SlotRef &Ref, StorageClass Class,
+                 uint32_t Group, bool Dies, Value V);
+  void mirrorWrite(TreeNode *N, const SlotRef &Ref, Value V);
+
+  // Interpreted fallback.
   bool runVisit(TreeNode *N, unsigned VisitNo, DiagnosticEngine &Diags);
   bool execRule(TreeNode *N, RuleId R, std::vector<PendingDeath> &Deaths,
                 DiagnosticEngine &Diags);
   const Value *readOccStored(TreeNode *N, const AttrOcc &O);
   void writeOccStored(TreeNode *N, const AttrOcc &O, Value V,
                       std::vector<PendingDeath> &Deaths);
+
   void noteLiveCells();
   void shrinkDeadSuffix(StackGroup &G);
 
-  /// Per-node cell indices for stack-resident attributes and locals.
+  /// Per-node cell indices for stack-resident attributes and locals
+  /// (interpreted path only; the compiled path stamps flat per-node arrays
+  /// from CellIdxArena instead).
   std::unordered_map<const TreeNode *, std::vector<int64_t>> AttrCell;
   std::unordered_map<const TreeNode *, std::vector<int64_t>> LocalCell;
 
   const EvaluationPlan &Plan;
   const StorageAssignment &SA;
+  std::unique_ptr<const CompiledPlan> OwnedCP;
+  const CompiledPlan *CP;
+  std::unique_ptr<const CompiledStorage> OwnedCS;
+  const CompiledStorage *CS;
   StorageStats Stats;
   bool MirrorToTree = false;
-  std::vector<std::pair<AttrId, Value>> RootInh;
+  bool UseInterp;
+  /// Root-inherited values indexed by AttrId.
+  std::vector<Value> RootInhVals;
+  std::vector<uint8_t> RootInhSet;
   std::vector<Value> Vars;
   std::vector<uint8_t> VarSet;
   std::vector<StackGroup> Stacks;
   uint64_t TreeCellsLive = 0;
   uint64_t VarsLive = 0;
+
+  /// Reusable argument buffer; semantic functions see a span into it.
+  std::vector<Value> ArgBuf;
+  /// Pending deaths of every active chunk, stacked: each compiled visit
+  /// records its base index on entry and truncates back at its LEAVE (the
+  /// interpreted path allocates a vector per chunk instead).
+  std::vector<PendingDeath> DeathBuf;
+  /// Per-VISIT stack watermarks, stacked the same way (replaces the
+  /// per-VISIT "Before" allocation).
+  std::vector<size_t> MarkBuf;
+  /// Backing store for the nodes' CellIdx arrays, sized by the baseline
+  /// walk; one entry per attribute/local slot, -1 = no cell yet.
+  std::vector<int64_t> CellIdxArena;
+  std::vector<TreeNode *> WalkBuf;
 };
 
 } // namespace fnc2

@@ -3,14 +3,76 @@
 #include "tree/Tree.h"
 
 #include <cctype>
+#include <cstring>
 
 using namespace fnc2;
+
+//===----------------------------------------------------------------------===//
+// FrameArena
+//===----------------------------------------------------------------------===//
+
+FrameArena::~FrameArena() {
+  for (auto &[Vals, Count] : Frames)
+    for (uint32_t I = 0; I != Count; ++I)
+      Vals[I].~Value();
+}
+
+std::pair<Value *, uint64_t *> FrameArena::allocFrame(unsigned NumVals,
+                                                      unsigned NumWords) {
+  static_assert(sizeof(Value) % alignof(uint64_t) == 0,
+                "bitmap words follow the Value run without padding");
+  const size_t Bytes =
+      size_t(NumVals) * sizeof(Value) + size_t(NumWords) * sizeof(uint64_t);
+  Chunk *C = Chunks.empty() ? nullptr : &Chunks.back();
+  if (!C || C->Cap - C->Used < Bytes) {
+    constexpr size_t MinChunk = 64 * 1024;
+    Chunk Fresh;
+    Fresh.Cap = std::max(MinChunk, Bytes);
+    Fresh.Mem = std::make_unique<std::byte[]>(Fresh.Cap);
+    Chunks.push_back(std::move(Fresh));
+    C = &Chunks.back();
+  }
+  std::byte *Base = C->Mem.get() + C->Used;
+  C->Used += Bytes;
+  auto *Vals = reinterpret_cast<Value *>(Base);
+  for (unsigned I = 0; I != NumVals; ++I)
+    new (Vals + I) Value();
+  auto *Words = reinterpret_cast<uint64_t *>(Base + NumVals * sizeof(Value));
+  std::memset(Words, 0, NumWords * sizeof(uint64_t));
+  if (NumVals)
+    Frames.emplace_back(Vals, NumVals);
+  return {Vals, Words};
+}
+
+void TreeNode::allocFrameSlow(unsigned NumAttrs, unsigned NumLocals) {
+  assert(Arena && "node is not attached to a tree arena");
+  const unsigned Total = NumAttrs + NumLocals;
+  auto [Vals, Words] = Arena->allocFrame(Total, (Total + 63) / 64);
+  Slots = Vals;
+  ComputedBits = Words;
+  FrameAttrs = static_cast<uint16_t>(NumAttrs);
+  FrameLocals = static_cast<uint16_t>(NumLocals);
+}
+
+//===----------------------------------------------------------------------===//
+// Tree
+//===----------------------------------------------------------------------===//
+
+void Tree::adoptSubtree(TreeNode *N) {
+  // Nodes that already carry a frame keep their original arena so the frame
+  // memory stays alive; frameless ones allocate from this tree's arena.
+  if (!N->hasFrame() || !N->Arena)
+    N->Arena = Arena;
+  for (auto &C : N->Children)
+    adoptSubtree(C.get());
+}
 
 void Tree::setRoot(std::unique_ptr<TreeNode> N) {
   Root = std::move(N);
   if (Root) {
     Root->Parent = nullptr;
     Root->IndexInParent = 0;
+    adoptSubtree(Root.get());
   }
 }
 
@@ -23,6 +85,7 @@ Tree::make(ProdId P, std::vector<std::unique_ptr<TreeNode>> Children,
   auto N = std::make_unique<TreeNode>();
   N->Prod = P;
   N->Lexeme = std::move(Lexeme);
+  N->Arena = Arena;
   for (unsigned I = 0; I != Children.size(); ++I) {
     assert(Children[I] && "null child");
     assert(AG->prod(Children[I]->Prod).Lhs == Pr.Rhs[I] &&
@@ -80,11 +143,13 @@ static unsigned countNodes(const TreeNode *N) {
 unsigned Tree::size() const { return Root ? countNodes(Root.get()) : 0; }
 
 static void resetNode(TreeNode *N) {
-  N->AttrVals.clear();
-  N->AttrComputed.clear();
-  N->LocalVals.clear();
-  N->LocalComputed.clear();
+  const unsigned NumSlots = N->numSlots();
+  for (unsigned I = 0; I != NumSlots; ++I)
+    N->Slots[I] = Value();
+  for (unsigned W = 0, E = (NumSlots + 63) / 64; W != E; ++W)
+    N->ComputedBits[W] = 0;
   N->PartitionId = 0;
+  N->SeqCache = nullptr;
   for (auto &C : N->Children)
     resetNode(C.get());
 }
@@ -105,6 +170,7 @@ std::unique_ptr<TreeNode> Tree::replaceSubtree(TreeNode *Old,
     std::unique_ptr<TreeNode> Detached = std::move(Root);
     New->Parent = nullptr;
     New->IndexInParent = 0;
+    adoptSubtree(New.get());
     Root = std::move(New);
     return Detached;
   }
@@ -112,6 +178,7 @@ std::unique_ptr<TreeNode> Tree::replaceSubtree(TreeNode *Old,
   std::unique_ptr<TreeNode> Detached = std::move(Parent->Children[Idx]);
   New->Parent = Parent;
   New->IndexInParent = Idx;
+  adoptSubtree(New.get());
   Parent->Children[Idx] = std::move(New);
   Detached->Parent = nullptr;
   return Detached;
@@ -121,6 +188,7 @@ std::unique_ptr<TreeNode> Tree::clone(const TreeNode *N) const {
   auto Copy = std::make_unique<TreeNode>();
   Copy->Prod = N->Prod;
   Copy->Lexeme = N->Lexeme;
+  Copy->Arena = Arena;
   for (unsigned I = 0; I != N->arity(); ++I) {
     auto C = clone(N->child(I));
     C->Parent = Copy.get();

@@ -8,8 +8,11 @@
 /// The explicitly-built attributed trees FNC-2 evaluators walk (the design
 /// ruled out tree-less methods, paper section 1). Nodes know their operator,
 /// children, parent link (needed by LEAVE and by incremental propagation),
-/// an optional lexeme for leaf operators, and per-attribute value slots used
-/// when attributes are tree-resident.
+/// an optional lexeme for leaf operators, and a single attribute *frame*:
+/// one contiguous allocation holding the phylum's attribute slots, the
+/// production's local slots, and a packed computed bitmap. Frames are bump-
+/// allocated from the owning tree's FrameArena, so evaluating a tree touches
+/// one cache-friendly block per node instead of four separate vectors.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,10 +22,40 @@
 #include "grammar/AttributeGrammar.h"
 #include "value/Value.h"
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
 namespace fnc2 {
+
+/// Bump allocator for attribute frames. One arena per Tree; frames live
+/// until the arena dies, so detached subtrees stay readable as long as any
+/// node still references the arena (nodes hold it by shared_ptr).
+///
+/// Not thread-safe: each tree (and therefore each batch worker, which owns
+/// disjoint trees) allocates from its own arena.
+class FrameArena {
+public:
+  FrameArena() = default;
+  ~FrameArena();
+  FrameArena(const FrameArena &) = delete;
+  FrameArena &operator=(const FrameArena &) = delete;
+
+  /// Allocates one frame: \p NumVals default-constructed Values followed by
+  /// \p NumWords zeroed bitmap words, contiguously.
+  std::pair<Value *, uint64_t *> allocFrame(unsigned NumVals,
+                                            unsigned NumWords);
+
+private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> Mem;
+    size_t Used = 0;
+    size_t Cap = 0;
+  };
+  std::vector<Chunk> Chunks;
+  /// Every allocated frame's Value run, destroyed with the arena.
+  std::vector<std::pair<Value *, uint32_t>> Frames;
+};
 
 /// One node of an attributed abstract tree.
 struct TreeNode {
@@ -33,26 +66,94 @@ struct TreeNode {
   /// Lexical value of leaf operators declared with a lexeme slot.
   Value Lexeme;
 
-  /// Tree-resident attribute storage, indexed like the phylum's attribute
-  /// list; maintained by the evaluators.
-  std::vector<Value> AttrVals;
-  std::vector<uint8_t> AttrComputed;
-  /// Storage for the production's local attributes.
-  std::vector<Value> LocalVals;
-  std::vector<uint8_t> LocalComputed;
+  /// The attribute frame: FrameAttrs slots indexed like the phylum's
+  /// attribute list, then FrameLocals slots for the production's locals,
+  /// with per-slot computed bits packed into words. Null until an evaluator
+  /// ensures storage; stays allocated across resetAttributes() (only the
+  /// contents are cleared), which keeps re-evaluation allocation-free.
+  Value *Slots = nullptr;
+  uint64_t *ComputedBits = nullptr;
+  uint16_t FrameAttrs = 0;
+  uint16_t FrameLocals = 0;
 
   /// Partition assigned by the l-ordered evaluator (identifies which
   /// visit-sequence variant applies at this node).
   unsigned PartitionId = 0;
 
+  /// Compiled visit-sequence cache (a CompiledSeq*), maintained by the
+  /// compiled evaluators and invalidated by resetAttributes(). Opaque here
+  /// to keep the tree layer independent of the plan compiler.
+  const void *SeqCache = nullptr;
+
+  /// Storage-evaluator scratch: per-slot stack cell indices, pointing into
+  /// an arena owned by the StorageEvaluator that stamped it. Only meaningful
+  /// during that evaluator's evaluate() call, which re-stamps every node
+  /// before any use — never dereferenced outside it.
+  int64_t *CellIdx = nullptr;
+
+  /// Arena frames are allocated from; shared so frames outlive the Tree
+  /// object if a detached subtree does.
+  std::shared_ptr<FrameArena> Arena;
+
   TreeNode *child(unsigned I) const { return Children[I].get(); }
   unsigned arity() const { return static_cast<unsigned>(Children.size()); }
+
+  //===--- frame access ---------------------------------------------------===//
+
+  /// True once attribute storage has been ensured (and the node has at
+  /// least one slot; zero-slot productions never allocate).
+  bool hasFrame() const { return Slots != nullptr; }
+  unsigned numSlots() const { return unsigned(FrameAttrs) + FrameLocals; }
+
+  /// Allocates the frame if absent. \p NumAttrs / \p NumLocals come from
+  /// the node's phylum / production.
+  void ensureFrame(unsigned NumAttrs, unsigned NumLocals) {
+    if (Slots || (NumAttrs | NumLocals) == 0)
+      return;
+    allocFrameSlow(NumAttrs, NumLocals);
+  }
+
+  /// Slot numbering: attribute I lives in slot I, local J in slot
+  /// FrameAttrs + J (the same numbering the storage layer's StorageIdMap
+  /// uses per node).
+  Value &slot(unsigned S) {
+    assert(Slots && S < numSlots() && "slot access without frame");
+    return Slots[S];
+  }
+  const Value &slot(unsigned S) const {
+    assert(Slots && S < numSlots() && "slot access without frame");
+    return Slots[S];
+  }
+  bool slotComputed(unsigned S) const {
+    assert(Slots && S < numSlots() && "slot access without frame");
+    return (ComputedBits[S >> 6] >> (S & 63)) & 1;
+  }
+  void setSlotComputed(unsigned S) {
+    ComputedBits[S >> 6] |= uint64_t(1) << (S & 63);
+  }
+  void clearSlotComputed(unsigned S) {
+    ComputedBits[S >> 6] &= ~(uint64_t(1) << (S & 63));
+  }
+
+  /// Attribute/local views used by tests and non-hot paths.
+  const Value &attrVal(unsigned I) const { return slot(I); }
+  const Value &localVal(unsigned I) const { return slot(FrameAttrs + I); }
+  bool attrComputed(unsigned I) const {
+    return hasFrame() && I < FrameAttrs && slotComputed(I);
+  }
+  bool localComputed(unsigned I) const {
+    return hasFrame() && slotComputed(FrameAttrs + I);
+  }
+
+private:
+  void allocFrameSlow(unsigned NumAttrs, unsigned NumLocals);
 };
 
 /// Owns a tree over a fixed grammar and provides constructors/validation.
 class Tree {
 public:
-  explicit Tree(const AttributeGrammar &AG) : AG(&AG) {}
+  explicit Tree(const AttributeGrammar &AG)
+      : AG(&AG), Arena(std::make_shared<FrameArena>()) {}
   Tree(Tree &&) = default;
   Tree &operator=(Tree &&) = default;
 
@@ -78,7 +179,8 @@ public:
   /// Total number of nodes.
   unsigned size() const;
 
-  /// Clears evaluation state (attribute slots) of the whole tree.
+  /// Clears evaluation state (attribute slots, computed bits, partitions,
+  /// sequence caches) of the whole tree. Frames stay allocated.
   void resetAttributes();
 
   /// Replaces the subtree rooted at \p Old (which must be in this tree and
@@ -91,7 +193,12 @@ public:
   std::unique_ptr<TreeNode> clone(const TreeNode *N) const;
 
 private:
+  /// Points frameless nodes of \p N's subtree at this tree's arena (nodes
+  /// that already carry a frame keep their original arena alive).
+  void adoptSubtree(TreeNode *N);
+
   const AttributeGrammar *AG;
+  std::shared_ptr<FrameArena> Arena;
   std::unique_ptr<TreeNode> Root;
 };
 

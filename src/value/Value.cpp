@@ -3,10 +3,56 @@
 #include "value/Value.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <mutex>
 #include <set>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace fnc2;
+
+//===----------------------------------------------------------------------===//
+// String interning
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One lock + table per shard; sharding keeps the batch engines' worker
+/// threads from serializing on a single pool mutex. The string_view keys
+/// point into the shared_ptr-owned strings, which are never erased, so the
+/// views stay valid for the life of the pool.
+struct InternShard {
+  std::mutex M;
+  std::unordered_map<std::string_view, std::shared_ptr<const std::string>>
+      Table;
+};
+
+constexpr size_t NumInternShards = 16;
+
+std::array<InternShard, NumInternShards> &internShards() {
+  static std::array<InternShard, NumInternShards> Shards;
+  return Shards;
+}
+
+} // namespace
+
+std::shared_ptr<const std::string> fnc2::internString(std::string S) {
+  const size_t H = std::hash<std::string_view>()(S);
+  InternShard &Shard = internShards()[H % NumInternShards];
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  auto It = Shard.Table.find(std::string_view(S));
+  if (It != Shard.Table.end())
+    return It->second;
+  auto Interned = std::make_shared<const std::string>(std::move(S));
+  Shard.Table.emplace(std::string_view(*Interned), Interned);
+  return Interned;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
 
 Value Value::ofInt(int64_t V) {
   Value R;
@@ -18,21 +64,22 @@ Value Value::ofInt(int64_t V) {
 Value Value::ofBool(bool V) {
   Value R;
   R.TheKind = Kind::Bool;
-  R.BoolVal = V;
+  R.IntVal = V ? 1 : 0;
   return R;
 }
 
 Value Value::ofString(std::string V) {
   Value R;
   R.TheKind = Kind::Str;
-  R.StrVal = std::make_shared<const std::string>(std::move(V));
+  R.Ref = internString(std::move(V));
   return R;
 }
 
 Value Value::ofList(std::vector<Value> Elems) {
   Value R;
   R.TheKind = Kind::List;
-  R.ListVal = std::make_shared<const std::vector<Value>>(std::move(Elems));
+  // Allocated non-const: the sole-owner listAppend path extends it in place.
+  R.Ref = std::make_shared<std::vector<Value>>(std::move(Elems));
   return R;
 }
 
@@ -42,43 +89,42 @@ Value Value::emptyMap() {
   return R;
 }
 
-int64_t Value::asInt() const {
-  assert(isInt() && "value is not an integer");
-  return IntVal;
-}
-
-bool Value::asBool() const {
-  assert(isBool() && "value is not a boolean");
-  return BoolVal;
-}
-
 const std::string &Value::asString() const {
   assert(isString() && "value is not a string");
-  return *StrVal;
+  return *strPtr();
 }
 
 const std::vector<Value> &Value::asList() const {
   assert(isList() && "value is not a list");
-  return *ListVal;
+  return *listPtr();
 }
+
+//===----------------------------------------------------------------------===//
+// Maps
+//===----------------------------------------------------------------------===//
 
 Value Value::mapInsert(const std::string &Key, Value V) const {
   assert(isMap() && "value is not a map");
   auto Node = std::make_shared<EnvNode>();
-  Node->Key = Key;
-  Node->Bound = std::make_shared<Value>(std::move(V));
-  Node->Parent = MapVal;
+  Node->Key = internString(Key);
+  Node->Bound = std::move(V);
+  Node->Parent = std::static_pointer_cast<const EnvNode>(Ref);
   Value R;
   R.TheKind = Kind::Map;
-  R.MapVal = std::move(Node);
+  R.Ref = std::move(Node);
   return R;
 }
 
 const Value *Value::mapLookup(const std::string &Key) const {
   assert(isMap() && "value is not a map");
-  for (const EnvNode *N = MapVal.get(); N; N = N->Parent.get())
-    if (N->Key == Key)
-      return N->Bound.get();
+  if (!Ref)
+    return nullptr;
+  // Every key in the chain is interned, so one intern of the probe key turns
+  // the walk into pure pointer comparisons.
+  const std::shared_ptr<const std::string> K = internString(Key);
+  for (const EnvNode *N = mapPtr(); N; N = N->Parent.get())
+    if (N->Key == K)
+      return &N->Bound;
   return nullptr;
 }
 
@@ -89,18 +135,39 @@ unsigned Value::mapSize() const {
 std::vector<std::pair<std::string, Value>> Value::mapEntries() const {
   assert(isMap() && "value is not a map");
   std::vector<std::pair<std::string, Value>> Out;
-  std::set<std::string> Seen;
-  for (const EnvNode *N = MapVal.get(); N; N = N->Parent.get())
-    if (Seen.insert(N->Key).second)
-      Out.emplace_back(N->Key, *N->Bound);
+  // Interning makes content-dedup a pointer-dedup.
+  std::unordered_set<const std::string *> Seen;
+  for (const EnvNode *N = mapPtr(); N; N = N->Parent.get())
+    if (Seen.insert(N->Key.get()).second)
+      Out.emplace_back(*N->Key, N->Bound);
   return Out;
 }
 
-Value Value::listAppend(Value V) const {
+//===----------------------------------------------------------------------===//
+// Lists
+//===----------------------------------------------------------------------===//
+
+Value Value::listAppend(Value V) const & {
   assert(isList() && "value is not a list");
-  std::vector<Value> Elems = *ListVal;
+  std::vector<Value> Elems = *listPtr();
   Elems.push_back(std::move(V));
   return ofList(std::move(Elems));
+}
+
+Value Value::listAppend(Value V) && {
+  assert(isList() && "value is not a list");
+  if (Ref && Ref.use_count() == 1) {
+    // Sole owner: extend the vector in place (it was allocated non-const in
+    // ofList) and hand the ownership to the result.
+    auto *Vec = static_cast<std::vector<Value> *>(const_cast<void *>(Ref.get()));
+    Vec->push_back(std::move(V));
+    Value R;
+    R.TheKind = Kind::List;
+    R.Ref = std::move(Ref);
+    TheKind = Kind::Unit;
+    return R;
+  }
+  return static_cast<const Value &>(*this).listAppend(std::move(V));
 }
 
 Value Value::listConcat(const Value &A, const Value &B) {
@@ -110,6 +177,10 @@ Value Value::listConcat(const Value &A, const Value &B) {
   return ofList(std::move(Elems));
 }
 
+//===----------------------------------------------------------------------===//
+// Equality / rendering / hashing
+//===----------------------------------------------------------------------===//
+
 bool Value::equals(const Value &Other) const {
   if (TheKind != Other.TheKind)
     return false;
@@ -117,15 +188,16 @@ bool Value::equals(const Value &Other) const {
   case Kind::Unit:
     return true;
   case Kind::Int:
-    return IntVal == Other.IntVal;
   case Kind::Bool:
-    return BoolVal == Other.BoolVal;
+    return IntVal == Other.IntVal;
   case Kind::Str:
-    return *StrVal == *Other.StrVal;
+    // Interned: equal contents share one object. The content fallback keeps
+    // equality total even for strings from a hypothetical second pool.
+    return Ref == Other.Ref || *strPtr() == *Other.strPtr();
   case Kind::List: {
-    if (ListVal == Other.ListVal)
+    if (Ref == Other.Ref)
       return true;
-    const auto &A = *ListVal, &B = *Other.ListVal;
+    const auto &A = *listPtr(), &B = *Other.listPtr();
     if (A.size() != B.size())
       return false;
     for (size_t I = 0, E = A.size(); I != E; ++I)
@@ -134,7 +206,7 @@ bool Value::equals(const Value &Other) const {
     return true;
   }
   case Kind::Map: {
-    if (MapVal == Other.MapVal)
+    if (Ref == Other.Ref)
       return true;
     auto A = mapEntries(), B = Other.mapEntries();
     if (A.size() != B.size())
@@ -158,15 +230,16 @@ std::string Value::str() const {
   case Kind::Int:
     return std::to_string(IntVal);
   case Kind::Bool:
-    return BoolVal ? "true" : "false";
+    return IntVal ? "true" : "false";
   case Kind::Str:
-    return "\"" + *StrVal + "\"";
+    return "\"" + *strPtr() + "\"";
   case Kind::List: {
     std::string Out = "[";
-    for (size_t I = 0, E = ListVal->size(); I != E; ++I) {
+    const auto &Elems = *listPtr();
+    for (size_t I = 0, E = Elems.size(); I != E; ++I) {
       if (I)
         Out += ", ";
-      Out += (*ListVal)[I].str();
+      Out += Elems[I].str();
     }
     Out += "]";
     return Out;
@@ -203,13 +276,15 @@ size_t Value::hash() const {
     H = hashCombine(H, std::hash<int64_t>()(IntVal));
     break;
   case Kind::Bool:
-    H = hashCombine(H, BoolVal ? 1 : 2);
+    H = hashCombine(H, IntVal ? 1 : 2);
     break;
   case Kind::Str:
-    H = hashCombine(H, std::hash<std::string>()(*StrVal));
+    // Content hash, so it stays consistent with the content fallback in
+    // equals() regardless of interning.
+    H = hashCombine(H, std::hash<std::string>()(*strPtr()));
     break;
   case Kind::List:
-    for (const Value &E : *ListVal)
+    for (const Value &E : *listPtr())
       H = hashCombine(H, E.hash());
     break;
   case Kind::Map: {

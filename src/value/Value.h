@@ -12,28 +12,34 @@
 /// 2.1.2: the notion of equality used in the comparison is adaptable; we
 /// default to structural equality).
 ///
+/// Strings are interned in a global sharded pool, so string values and map
+/// keys compare by pointer first: two equal strings built through ofString()
+/// share one heap object, which turns the incremental cutoff's equality test
+/// and mapLookup chains into pointer comparisons. A Value is three words:
+/// kind, an integer payload, and one shared_ptr that carries the string /
+/// list / map representation depending on the kind.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FNC2_VALUE_VALUE_H
 #define FNC2_VALUE_VALUE_H
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace fnc2 {
 
-class Value;
+struct EnvNode;
 
-/// Persistent association environment: extension chains a new binding in
-/// front of the parent, so symbol tables built during evaluation share tails.
-struct EnvNode {
-  std::string Key;
-  std::shared_ptr<Value> Bound;
-  std::shared_ptr<const EnvNode> Parent;
-};
+/// Interns \p S in the process-wide pool: equal contents yield the same
+/// pointer for the lifetime of the process. Thread-safe (sharded locks); the
+/// pool only grows, which is the usual compiler-style interning trade.
+std::shared_ptr<const std::string> internString(std::string S);
 
 /// A dynamically-typed attribute value.
 class Value {
@@ -58,8 +64,14 @@ public:
   bool isMap() const { return TheKind == Kind::Map; }
 
   /// Accessors assert on kind mismatch (programmatic error).
-  int64_t asInt() const;
-  bool asBool() const;
+  int64_t asInt() const {
+    assert(isInt() && "value is not an integer");
+    return IntVal;
+  }
+  bool asBool() const {
+    assert(isBool() && "value is not a boolean");
+    return IntVal != 0;
+  }
   const std::string &asString() const;
   const std::vector<Value> &asList() const;
 
@@ -73,11 +85,16 @@ public:
   std::vector<std::pair<std::string, Value>> mapEntries() const;
 
   /// Returns a list with \p V appended (copies; lists are immutable values).
-  Value listAppend(Value V) const;
+  Value listAppend(Value V) const &;
+  /// Rvalue builder path: when this value is the sole owner of its element
+  /// vector the append mutates in place, so `L = std::move(L).listAppend(V)`
+  /// builds an N-element list in amortized O(N) instead of O(N^2).
+  Value listAppend(Value V) &&;
   /// Concatenation of two lists.
   static Value listConcat(const Value &A, const Value &B);
 
-  /// Structural equality; maps compare by visible bindings.
+  /// Structural equality; maps compare by visible bindings. Strings and
+  /// shared representations short-circuit on pointer identity.
   bool equals(const Value &Other) const;
   bool operator==(const Value &Other) const { return equals(Other); }
 
@@ -87,18 +104,43 @@ public:
   /// A stable structural hash, consistent with equals().
   size_t hash() const;
 
+  /// The heap representation's identity, for tests of interning / sharing.
+  /// Null for Unit/Int/Bool and the empty map.
+  const void *identity() const { return Ref.get(); }
+
 private:
+  const std::string *strPtr() const {
+    return static_cast<const std::string *>(Ref.get());
+  }
+  const std::vector<Value> *listPtr() const {
+    return static_cast<const std::vector<Value> *>(Ref.get());
+  }
+  const EnvNode *mapPtr() const {
+    return static_cast<const EnvNode *>(Ref.get());
+  }
+
   Kind TheKind;
-  int64_t IntVal = 0;
-  bool BoolVal = false;
-  std::shared_ptr<const std::string> StrVal;
-  std::shared_ptr<const std::vector<Value>> ListVal;
-  std::shared_ptr<const EnvNode> MapVal;
+  int64_t IntVal = 0; ///< Int payload; Bool packs here as 0/1.
+  /// Str: interned std::string; List: std::vector<Value> (allocated
+  /// non-const so the unique-owner append path may extend it); Map: EnvNode
+  /// chain head, null for the empty map.
+  std::shared_ptr<const void> Ref;
+};
+
+/// Persistent association environment: extension chains a new binding in
+/// front of the parent, so symbol tables built during evaluation share tails.
+/// Keys are interned, so lookup compares pointers, not characters.
+struct EnvNode {
+  std::shared_ptr<const std::string> Key;
+  Value Bound;
+  std::shared_ptr<const EnvNode> Parent;
 };
 
 /// Signature of a semantic function: strict, pure, takes argument values in
-/// rule order and returns the defined occurrence's value.
-using SemanticFn = std::function<Value(const std::vector<Value> &)>;
+/// rule order and returns the defined occurrence's value. The span points
+/// into the evaluator's reusable argument buffer and is only valid for the
+/// duration of the call.
+using SemanticFn = std::function<Value(std::span<const Value>)>;
 
 } // namespace fnc2
 

@@ -20,7 +20,7 @@ AttributeGrammar workloads::deskCalculator(DiagnosticEngine &Diags) {
   AttrId Val = B.synthesized(Exp, "val", "int");
 
   auto binOp = [](auto Op) {
-    return [Op](const std::vector<Value> &A) {
+    return [Op](std::span<const Value> A) {
       return Value::ofInt(Op(A[0].asInt(), A[1].asInt()));
     };
   };
@@ -28,19 +28,19 @@ AttributeGrammar workloads::deskCalculator(DiagnosticEngine &Diags) {
   // Calc(Exp) -> Prog
   ProdId Calc = B.production("Calc", Prog, {Exp});
   B.rule(Calc, occ(1, Env), {}, "emptyEnv",
-         [](const std::vector<Value> &) { return Value::emptyMap(); });
+         [](std::span<const Value> ) { return Value::emptyMap(); });
   B.copy(Calc, occ(0, Result), occ(1, Val));
 
   // Num<int> -> Exp
   ProdId Num = B.production("Num", Exp, {}, /*HasLexeme=*/true);
   B.rule(Num, occ(0, Val), {AttrOcc::lexeme()}, "lexVal",
-         [](const std::vector<Value> &A) { return A[0]; });
+         [](std::span<const Value> A) { return A[0]; });
 
   // Var<"name"> -> Exp
   ProdId Var = B.production("Var", Exp, {}, /*HasLexeme=*/true,
                             /*StringLexeme=*/true);
   B.rule(Var, occ(0, Val), {occ(0, Env), AttrOcc::lexeme()}, "lookup",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            const Value *V = A[0].mapLookup(A[1].asString());
            return V ? *V : Value::ofInt(0);
          });
@@ -61,7 +61,7 @@ AttributeGrammar workloads::deskCalculator(DiagnosticEngine &Diags) {
                             /*StringLexeme=*/true);
   B.copy(Let, occ(1, Env), occ(0, Env));
   B.rule(Let, occ(2, Env), {occ(0, Env), AttrOcc::lexeme(), occ(1, Val)},
-         "bind", [](const std::vector<Value> &A) {
+         "bind", [](std::span<const Value> A) {
            return A[0].mapInsert(A[1].asString(), A[2]);
          });
   B.copy(Let, occ(0, Val), occ(2, Val));
@@ -94,11 +94,11 @@ AttributeGrammar workloads::binaryNumbers(DiagnosticEngine &Diags) {
   ProdId Fraction = B.production("Fraction", Num, {List, List});
   B.constant(Fraction, occ(1, LScale), Value::ofInt(0), "zeroScale");
   B.rule(Fraction, occ(2, LScale), {occ(2, LLen)}, "negate",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return Value::ofInt(-A[0].asInt());
          });
   B.rule(Fraction, occ(0, NVal), {occ(1, LVal), occ(2, LVal)}, "add",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return Value::ofInt(A[0].asInt() + A[1].asInt());
          });
 
@@ -111,16 +111,16 @@ AttributeGrammar workloads::binaryNumbers(DiagnosticEngine &Diags) {
   // Pair(List, Bit) -> List
   ProdId Pair = B.production("Pair", List, {List, Bit});
   B.rule(Pair, occ(1, LScale), {occ(0, LScale)}, "inc",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return Value::ofInt(A[0].asInt() + 1);
          });
   B.copy(Pair, occ(2, BScale), occ(0, LScale));
   B.rule(Pair, occ(0, LVal), {occ(1, LVal), occ(2, BVal)}, "add",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return Value::ofInt(A[0].asInt() + A[1].asInt());
          });
   B.rule(Pair, occ(0, LLen), {occ(1, LLen)}, "inc",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return Value::ofInt(A[0].asInt() + 1);
          });
 
@@ -129,7 +129,7 @@ AttributeGrammar workloads::binaryNumbers(DiagnosticEngine &Diags) {
   B.constant(Zero, occ(0, BVal), Value::ofInt(0), "zero");
   ProdId One = B.production("One", Bit, {});
   B.rule(One, occ(0, BVal), {occ(0, BScale)}, "pow2",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            int64_t S = A[0].asInt() + 10;
            assert(S >= 0 && S < 62 && "scale out of fixed-point range");
            return Value::ofInt(int64_t(1) << S);
@@ -154,19 +154,19 @@ AttributeGrammar workloads::repmin(DiagnosticEngine &Diags) {
 
   ProdId Leaf = B.production("Leaf", T, {}, /*HasLexeme=*/true);
   B.rule(Leaf, occ(0, Min), {AttrOcc::lexeme()}, "lexVal",
-         [](const std::vector<Value> &A) { return A[0]; });
+         [](std::span<const Value> A) { return A[0]; });
   B.rule(Leaf, occ(0, TRep), {occ(0, GMin)}, "show",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return Value::ofString(std::to_string(A[0].asInt()));
          });
 
   ProdId Fork = B.production("Fork", T, {T, T});
   B.rule(Fork, occ(0, Min), {occ(1, Min), occ(2, Min)}, "min",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return Value::ofInt(std::min(A[0].asInt(), A[1].asInt()));
          });
   B.rule(Fork, occ(0, TRep), {occ(1, TRep), occ(2, TRep)}, "fork",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return Value::ofString("(" + A[0].asString() + "," +
                                   A[1].asString() + ")");
          });
@@ -190,7 +190,7 @@ AttributeGrammar workloads::circularGrammar(DiagnosticEngine &Diags) {
 
   ProdId Leaf = B.production("Leaf", X, {});
   B.rule(Leaf, occ(0, S), {occ(0, H)}, "f",
-         [](const std::vector<Value> &A) { return A[0]; });
+         [](std::span<const Value> A) { return A[0]; });
 
   B.setStart(Root);
   return B.finalize(Diags);
@@ -216,7 +216,7 @@ AttributeGrammar workloads::twoContextGrammar(DiagnosticEngine &Diags) {
   ProdId Top = B.production("Top", Root, {W});
   B.copy(Top, occ(0, Out), occ(1, WOut));
 
-  auto inc = [](const std::vector<Value> &A) {
+  auto inc = [](std::span<const Value> A) {
     return Value::ofInt(A[0].asInt() + 1);
   };
 
@@ -246,7 +246,7 @@ AttributeGrammar workloads::twoContextGrammar(DiagnosticEngine &Diags) {
 static void siblingConflict(GrammarBuilder &B, const std::string &Name,
                             PhylumId Root, PhylumId X, AttrId Out, AttrId HA,
                             AttrId SA, AttrId HB, AttrId SB) {
-  auto inc = [](const std::vector<Value> &A) {
+  auto inc = [](std::span<const Value> A) {
     return Value::ofInt(A[0].asInt() + 1);
   };
   ProdId P = B.production(Name, Root, {X, X});
@@ -255,7 +255,7 @@ static void siblingConflict(GrammarBuilder &B, const std::string &Name,
   B.constant(P, occ(2, HB), Value::ofInt(20), "c20");
   B.rule(P, occ(1, HB), {occ(2, SB)}, "inc", inc);
   B.rule(P, occ(0, Out), {occ(1, SB), occ(2, SA)}, "add",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return Value::ofInt(A[0].asInt() + A[1].asInt());
          });
 }
@@ -307,7 +307,7 @@ AttributeGrammar workloads::dncNotOagGrammar(DiagnosticEngine &Diags) {
   siblingConflict(B, "Conflict23", Root, X, Out, H2, S2, H3, S3);
   siblingConflict(B, "Conflict31", Root, X, Out, H3, S3, H1, S1);
 
-  auto inc = [](const std::vector<Value> &A) {
+  auto inc = [](std::span<const Value> A) {
     return Value::ofInt(A[0].asInt() + 1);
   };
   ProdId Leaf = B.production("LeafX", X, {});
@@ -338,7 +338,7 @@ AttributeGrammar workloads::oag1Grammar(DiagnosticEngine &Diags) {
 
   siblingConflict(B, "Conflict", Root, X, Out, H1, S1, H2, S2);
 
-  auto inc = [](const std::vector<Value> &A) {
+  auto inc = [](std::span<const Value> A) {
     return Value::ofInt(A[0].asInt() + 1);
   };
   ProdId Leaf = B.production("LeafX", X, {});

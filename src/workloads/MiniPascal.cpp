@@ -64,21 +64,21 @@ AttributeGrammar workloads::miniPascal(DiagnosticEngine &Diags) {
   AttrId ECode = B.synthesized(Expr, "code", "list");
   AttrId EErrs = B.synthesized(Expr, "errs", "int");
 
-  auto sum2 = [](const std::vector<Value> &A) {
+  auto sum2 = [](std::span<const Value> A) {
     return Value::ofInt(A[0].asInt() + A[1].asInt());
   };
-  auto sum3 = [](const std::vector<Value> &A) {
+  auto sum3 = [](std::span<const Value> A) {
     return Value::ofInt(A[0].asInt() + A[1].asInt() + A[2].asInt());
   };
 
   // Program(d: DeclList, s: StmtList) -> Prog
   ProdId Program = B.production("Program", Prog, {DeclList, StmtList});
   B.rule(Program, occ(1, DLEnv), {}, "emptyEnv",
-         [](const std::vector<Value> &) { return Value::emptyMap(); });
+         [](std::span<const Value> ) { return Value::emptyMap(); });
   B.copy(Program, occ(2, SLEnv), occ(1, DLOut));
   B.constant(Program, occ(2, SLLab), Value::ofInt(0), "zero");
   B.rule(Program, occ(0, PCode), {occ(2, SLCode)}, "sealCode",
-         [](const std::vector<Value> &A) { return cat(A[0], instr("HLT")); });
+         [](std::span<const Value> A) { return cat(A[0], instr("HLT")); });
   B.rule(Program, occ(0, PErrs), {occ(1, DLErrs), occ(2, SLErrs)}, "add",
          sum2);
 
@@ -100,11 +100,11 @@ AttributeGrammar workloads::miniPascal(DiagnosticEngine &Diags) {
     ProdId P = B.production(Name, Decl, {}, /*HasLexeme=*/true,
                             /*StringLexeme=*/true);
     B.rule(P, occ(0, DOut), {occ(0, DEnv), AttrOcc::lexeme()}, "declare",
-           [Ty](const std::vector<Value> &A) {
+           [Ty](std::span<const Value> A) {
              return A[0].mapInsert(A[1].asString(), Value::ofInt(Ty));
            });
     B.rule(P, occ(0, DErrs), {occ(0, DEnv), AttrOcc::lexeme()}, "redecl",
-           [](const std::vector<Value> &A) {
+           [](std::span<const Value> A) {
              return Value::ofInt(A[0].mapLookup(A[1].asString()) ? 1 : 0);
            });
   };
@@ -123,7 +123,7 @@ AttributeGrammar workloads::miniPascal(DiagnosticEngine &Diags) {
   B.copy(StmtCons, occ(2, SLLab), occ(1, SLabOut));
   B.copy(StmtCons, occ(0, SLLabOut), occ(2, SLLabOut));
   B.rule(StmtCons, occ(0, SLCode), {occ(1, SCode), occ(2, SLCode)}, "cat",
-         [](const std::vector<Value> &A) { return cat(A[0], A[1]); });
+         [](std::span<const Value> A) { return cat(A[0], A[1]); });
   B.rule(StmtCons, occ(0, SLErrs), {occ(1, SErrs), occ(2, SLErrs)}, "add",
          sum2);
 
@@ -132,12 +132,12 @@ AttributeGrammar workloads::miniPascal(DiagnosticEngine &Diags) {
                                /*StringLexeme=*/true);
   B.copy(Assign, occ(0, SLabOut), occ(0, SLab));
   B.rule(Assign, occ(0, SCode), {occ(1, ECode), AttrOcc::lexeme()}, "store",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return cat(A[0], instr("STO " + A[1].asString()));
          });
   B.rule(Assign, occ(0, SErrs),
          {occ(1, EErrs), occ(0, SEnv), AttrOcc::lexeme(), occ(1, ETy)},
-         "checkAssign", [](const std::vector<Value> &A) {
+         "checkAssign", [](std::span<const Value> A) {
            int64_t Errs = A[0].asInt();
            const Value *Declared = A[1].mapLookup(A[2].asString());
            int64_t Ty = A[3].asInt();
@@ -151,14 +151,14 @@ AttributeGrammar workloads::miniPascal(DiagnosticEngine &Diags) {
   // IfStmt(e: Expr, then: StmtList, els: StmtList) -> Stmt
   ProdId IfStmt = B.production("IfStmt", Stmt, {Expr, StmtList, StmtList});
   B.rule(IfStmt, occ(2, SLLab), {occ(0, SLab)}, "plus2",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return Value::ofInt(A[0].asInt() + 2);
          });
   B.copy(IfStmt, occ(3, SLLab), occ(2, SLLabOut));
   B.copy(IfStmt, occ(0, SLabOut), occ(3, SLLabOut));
   B.rule(IfStmt, occ(0, SCode),
          {occ(1, ECode), occ(2, SLCode), occ(3, SLCode), occ(0, SLab)},
-         "ifCode", [](const std::vector<Value> &A) {
+         "ifCode", [](std::span<const Value> A) {
            int64_t L1 = A[3].asInt(), L2 = A[3].asInt() + 1;
            Value C = A[0];
            C = cat(C, labInstr("JPC", L1));
@@ -171,7 +171,7 @@ AttributeGrammar workloads::miniPascal(DiagnosticEngine &Diags) {
          });
   B.rule(IfStmt, occ(0, SErrs),
          {occ(1, EErrs), occ(2, SLErrs), occ(3, SLErrs), occ(1, ETy)},
-         "checkCond", [](const std::vector<Value> &A) {
+         "checkCond", [](std::span<const Value> A) {
            int64_t E = A[0].asInt() + A[1].asInt() + A[2].asInt();
            return Value::ofInt(E + (A[3].asInt() == TyBool ? 0 : 1));
          });
@@ -179,13 +179,13 @@ AttributeGrammar workloads::miniPascal(DiagnosticEngine &Diags) {
   // WhileStmt(e: Expr, body: StmtList) -> Stmt
   ProdId WhileStmt = B.production("WhileStmt", Stmt, {Expr, StmtList});
   B.rule(WhileStmt, occ(2, SLLab), {occ(0, SLab)}, "plus2",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return Value::ofInt(A[0].asInt() + 2);
          });
   B.copy(WhileStmt, occ(0, SLabOut), occ(2, SLLabOut));
   B.rule(WhileStmt, occ(0, SCode),
          {occ(1, ECode), occ(2, SLCode), occ(0, SLab)}, "whileCode",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            int64_t L1 = A[2].asInt(), L2 = A[2].asInt() + 1;
            Value C = labInstr("LAB", L1);
            C = cat(C, A[0]);
@@ -197,7 +197,7 @@ AttributeGrammar workloads::miniPascal(DiagnosticEngine &Diags) {
          });
   B.rule(WhileStmt, occ(0, SErrs),
          {occ(1, EErrs), occ(2, SLErrs), occ(1, ETy)}, "checkCond",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            int64_t E = A[0].asInt() + A[1].asInt();
            return Value::ofInt(E + (A[2].asInt() == TyBool ? 0 : 1));
          });
@@ -206,14 +206,14 @@ AttributeGrammar workloads::miniPascal(DiagnosticEngine &Diags) {
   ProdId Write = B.production("Write", Stmt, {Expr});
   B.copy(Write, occ(0, SLabOut), occ(0, SLab));
   B.rule(Write, occ(0, SCode), {occ(1, ECode)}, "writeCode",
-         [](const std::vector<Value> &A) { return cat(A[0], instr("WRI")); });
+         [](std::span<const Value> A) { return cat(A[0], instr("WRI")); });
   B.copy(Write, occ(0, SErrs), occ(1, EErrs));
 
   // Expressions.
   ProdId Num = B.production("Num", Expr, {}, /*HasLexeme=*/true);
   B.constant(Num, occ(0, ETy), Value::ofInt(TyInt), "tyInt");
   B.rule(Num, occ(0, ECode), {AttrOcc::lexeme()}, "lit",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return instr("LIT " + std::to_string(A[0].asInt()));
          });
   B.constant(Num, occ(0, EErrs), Value::ofInt(0), "zero");
@@ -230,34 +230,34 @@ AttributeGrammar workloads::miniPascal(DiagnosticEngine &Diags) {
   ProdId Ident = B.production("Ident", Expr, {}, /*HasLexeme=*/true,
                               /*StringLexeme=*/true);
   B.rule(Ident, occ(0, ETy), {occ(0, EEnv), AttrOcc::lexeme()}, "identTy",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            const Value *Found = A[0].mapLookup(A[1].asString());
            return Found ? *Found : Value::ofInt(TyErr);
          });
   B.rule(Ident, occ(0, ECode), {AttrOcc::lexeme()}, "load",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return instr("LOD " + A[0].asString());
          });
   B.rule(Ident, occ(0, EErrs), {occ(0, EEnv), AttrOcc::lexeme()}, "declared",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return Value::ofInt(A[0].mapLookup(A[1].asString()) ? 0 : 1);
          });
 
   auto makeArith = [&](const char *Name, const char *OpCode) {
     ProdId P = B.production(Name, Expr, {Expr, Expr});
     B.rule(P, occ(0, ETy), {occ(1, ETy), occ(2, ETy)}, "arithTy",
-           [](const std::vector<Value> &A) {
+           [](std::span<const Value> A) {
              bool Ok = A[0].asInt() == TyInt && A[1].asInt() == TyInt;
              return Value::ofInt(Ok ? TyInt : TyErr);
            });
     std::string Instr = OpCode;
     B.rule(P, occ(0, ECode), {occ(1, ECode), occ(2, ECode)}, "arithCode",
-           [Instr](const std::vector<Value> &A) {
+           [Instr](std::span<const Value> A) {
              return cat(cat(A[0], A[1]), instr(Instr));
            });
     B.rule(P, occ(0, EErrs), {occ(1, EErrs), occ(2, EErrs), occ(1, ETy),
                               occ(2, ETy)},
-           "arithErrs", [](const std::vector<Value> &A) {
+           "arithErrs", [](std::span<const Value> A) {
              bool Ok = A[2].asInt() == TyInt && A[3].asInt() == TyInt;
              return Value::ofInt(A[0].asInt() + A[1].asInt() + (Ok ? 0 : 1));
            });
@@ -269,34 +269,34 @@ AttributeGrammar workloads::miniPascal(DiagnosticEngine &Diags) {
   // Less: int x int -> bool. Eq: same non-error types -> bool.
   ProdId Less = B.production("Less", Expr, {Expr, Expr});
   B.rule(Less, occ(0, ETy), {occ(1, ETy), occ(2, ETy)}, "lessTy",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            bool Ok = A[0].asInt() == TyInt && A[1].asInt() == TyInt;
            return Value::ofInt(Ok ? TyBool : TyErr);
          });
   B.rule(Less, occ(0, ECode), {occ(1, ECode), occ(2, ECode)}, "lessCode",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return cat(cat(A[0], A[1]), instr("LES"));
          });
   B.rule(Less, occ(0, EErrs),
          {occ(1, EErrs), occ(2, EErrs), occ(1, ETy), occ(2, ETy)}, "lessErrs",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            bool Ok = A[2].asInt() == TyInt && A[3].asInt() == TyInt;
            return Value::ofInt(A[0].asInt() + A[1].asInt() + (Ok ? 0 : 1));
          });
 
   ProdId Eq = B.production("Eq", Expr, {Expr, Expr});
   B.rule(Eq, occ(0, ETy), {occ(1, ETy), occ(2, ETy)}, "eqTy",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            bool Ok = A[0].asInt() == A[1].asInt() && A[0].asInt() != TyErr;
            return Value::ofInt(Ok ? TyBool : TyErr);
          });
   B.rule(Eq, occ(0, ECode), {occ(1, ECode), occ(2, ECode)}, "eqCode",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            return cat(cat(A[0], A[1]), instr("EQU"));
          });
   B.rule(Eq, occ(0, EErrs),
          {occ(1, EErrs), occ(2, EErrs), occ(1, ETy), occ(2, ETy)}, "eqErrs",
-         [](const std::vector<Value> &A) {
+         [](std::span<const Value> A) {
            bool Ok = A[2].asInt() == A[3].asInt() && A[2].asInt() != TyErr;
            return Value::ofInt(A[0].asInt() + A[1].asInt() + (Ok ? 0 : 1));
          });
@@ -618,10 +618,10 @@ PCodeResult workloads::pcodeFromTree(const AttributeGrammar &AG,
   PhylumId Prog = AG.findPhylum("Prog");
   AttrId Code = AG.findAttr(Prog, "code");
   AttrId Errs = AG.findAttr(Prog, "errs");
-  const Value &CodeV = T.root()->AttrVals[AG.attr(Code).IndexInOwner];
+  const Value &CodeV = T.root()->attrVal(AG.attr(Code).IndexInOwner);
   for (const Value &I : CodeV.asList())
     R.Code.push_back(I.asString());
-  R.Errors = T.root()->AttrVals[AG.attr(Errs).IndexInOwner].asInt();
+  R.Errors = T.root()->attrVal(AG.attr(Errs).IndexInOwner).asInt();
   return R;
 }
 

@@ -119,7 +119,8 @@ void stressSharedPlan(const SharedPlanCase &C, unsigned NumThreads,
       Evaluator E(C.GE.Plan);
       DiagnosticEngine D;
       ASSERT_TRUE(E.evaluate(T, D)) << D.dump();
-      W.RefRootVals.push_back(T.root()->AttrVals);
+      const TreeNode *Root = T.root();
+      W.RefRootVals.emplace_back(Root->Slots, Root->Slots + Root->FrameAttrs);
       W.Trees.push_back(std::move(T));
     }
 
@@ -137,7 +138,7 @@ void stressSharedPlan(const SharedPlanCase &C, unsigned NumThreads,
             continue;
           }
           for (unsigned A = 0; A != W.RefRootVals[I].size(); ++A)
-            if (!W.RefRootVals[I][A].equals(W.Trees[I].root()->AttrVals[A]))
+            if (!W.RefRootVals[I][A].equals(W.Trees[I].root()->attrVal(A)))
               ++Failures;
         }
     });
@@ -169,7 +170,7 @@ TEST(ConcurrencyStressTest, BatchEvaluatorRepeatedOverSharedPlan) {
     Evaluator E(C.GE.Plan);
     DiagnosticEngine D;
     ASSERT_TRUE(E.evaluate(T, D)) << D.dump();
-    RefOut.push_back(T.root()->AttrVals[0]);
+    RefOut.push_back(T.root()->attrVal(0));
     T.resetAttributes();
     Trees.push_back(std::move(T));
   }
@@ -180,7 +181,7 @@ TEST(ConcurrencyStressTest, BatchEvaluatorRepeatedOverSharedPlan) {
     ASSERT_EQ(R.Outcomes.size(), Trees.size());
     EXPECT_GT(R.Stats.RulesEvaluated, 0u);
     for (unsigned I = 0; I != Trees.size(); ++I)
-      EXPECT_TRUE(RefOut[I].equals(Trees[I].root()->AttrVals[0])) << I;
+      EXPECT_TRUE(RefOut[I].equals(Trees[I].root()->attrVal(0))) << I;
   }
 }
 
@@ -258,7 +259,7 @@ TEST(ConcurrencyStressTest, FailingTreesCannotPoisonTheBatch) {
   BatchResult Ok = BE.evaluate(Trees);
   EXPECT_TRUE(Ok.allSucceeded());
   for (const Tree &T : Trees)
-    EXPECT_EQ(T.root()->AttrVals[AG.attr(S).IndexInOwner].asInt(), 5);
+    EXPECT_EQ(T.root()->attrVal(AG.attr(S).IndexInOwner).asInt(), 5);
 }
 
 } // namespace

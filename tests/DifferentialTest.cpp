@@ -18,6 +18,7 @@
 #include "storage/StorageEvaluator.h"
 #include "tree/TreeGen.h"
 #include "workloads/ClassicGrammars.h"
+#include "workloads/MiniPascal.h"
 #include "workloads/SpecGen.h"
 
 #include <gtest/gtest.h>
@@ -48,22 +49,21 @@ void provideRootInherited(const AttributeGrammar &AG, EvalT &E) {
 void expectSameAttribution(const AttributeGrammar &AG, const TreeNode *Ref,
                            const TreeNode *Got, const std::string &Tag) {
   ASSERT_EQ(Ref->Prod, Got->Prod) << Tag;
-  ASSERT_EQ(Ref->AttrComputed.size(), Got->AttrComputed.size())
+  ASSERT_EQ(Ref->FrameAttrs, Got->FrameAttrs)
       << Tag << ": attribute slot count at " << AG.prod(Ref->Prod).Name;
-  for (unsigned I = 0; I != Ref->AttrComputed.size(); ++I) {
-    EXPECT_EQ(bool(Ref->AttrComputed[I]), bool(Got->AttrComputed[I]))
+  for (unsigned I = 0; I != Ref->FrameAttrs; ++I) {
+    EXPECT_EQ(Ref->attrComputed(I), Got->attrComputed(I))
         << Tag << ": computed mask " << I << " at " << AG.prod(Ref->Prod).Name;
-    if (Ref->AttrComputed[I] && Got->AttrComputed[I]) {
-      EXPECT_TRUE(Ref->AttrVals[I].equals(Got->AttrVals[I]))
+    if (Ref->attrComputed(I) && Got->attrComputed(I)) {
+      EXPECT_TRUE(Ref->attrVal(I).equals(Got->attrVal(I)))
           << Tag << ": attribute " << I << " at " << AG.prod(Ref->Prod).Name
-          << ": " << Ref->AttrVals[I].str() << " vs " << Got->AttrVals[I].str();
+          << ": " << Ref->attrVal(I).str() << " vs " << Got->attrVal(I).str();
     }
   }
-  unsigned Locals = std::min(Ref->LocalComputed.size(),
-                             Got->LocalComputed.size());
+  unsigned Locals = std::min(Ref->FrameLocals, Got->FrameLocals);
   for (unsigned I = 0; I != Locals; ++I)
-    if (Ref->LocalComputed[I] && Got->LocalComputed[I]) {
-      EXPECT_TRUE(Ref->LocalVals[I].equals(Got->LocalVals[I]))
+    if (Ref->localComputed(I) && Got->localComputed(I)) {
+      EXPECT_TRUE(Ref->localVal(I).equals(Got->localVal(I)))
           << Tag << ": local " << I << " at " << AG.prod(Ref->Prod).Name;
     }
   ASSERT_EQ(Ref->arity(), Got->arity()) << Tag;
@@ -126,6 +126,39 @@ void runFamily(const AttributeGrammar &AG, const GeneratedEvaluator &GE,
     EXPECT_EQ(SE.stats().RulesEvaluated, RefStats[I].RulesEvaluated)
         << AG.Name << "/storage tree " << I
         << ": same plan, same tree, same rule executions";
+  }
+
+  // The interpreted VisitSequence walk (the FNC2_INTERP_FALLBACK path) must
+  // match the compiled instruction stream attribution-for-attribution and
+  // counter-for-counter: they are two executions of the same plan.
+  for (unsigned I = 0; I != NumTrees; ++I) {
+    Tree T = cloneTree(AG, Sources[I]);
+    Evaluator E(GE.Plan);
+    E.setUseInterpreted(true);
+    provideRootInherited(AG, E);
+    DiagnosticEngine D;
+    ASSERT_TRUE(E.evaluate(T, D)) << AG.Name << ": " << D.dump();
+    expectSameAttribution(AG, Reference[I].root(), T.root(),
+                          AG.Name + "/interp");
+    EXPECT_EQ(E.stats().RulesEvaluated, RefStats[I].RulesEvaluated)
+        << AG.Name << "/interp tree " << I;
+    EXPECT_EQ(E.stats().VisitsPerformed, RefStats[I].VisitsPerformed)
+        << AG.Name << "/interp tree " << I;
+  }
+
+  // Same check for the storage evaluator's interpreted fallback.
+  for (unsigned I = 0; I != NumTrees; ++I) {
+    Tree T = cloneTree(AG, Sources[I]);
+    StorageEvaluator SE(GE.Plan, GE.Storage);
+    SE.setUseInterpreted(true);
+    SE.setMirrorToTree(true);
+    provideRootInherited(AG, SE);
+    DiagnosticEngine D;
+    ASSERT_TRUE(SE.evaluate(T, D)) << AG.Name << ": " << D.dump();
+    expectSameAttribution(AG, Reference[I].root(), T.root(),
+                          AG.Name + "/storage-interp");
+    EXPECT_EQ(SE.stats().RulesEvaluated, RefStats[I].RulesEvaluated)
+        << AG.Name << "/storage-interp tree " << I;
   }
 
   // The batch engine at 4 threads matches the sequential evaluator on every
@@ -263,6 +296,49 @@ TEST(DifferentialTest, BatchStatsMergeMatchesSequential) {
     EXPECT_EQ(R.Stats.CopiesSkipped, SeqStorage.CopiesSkipped);
     EXPECT_EQ(R.Stats.PeakLiveCells, MaxPeak)
         << "batch join must not sum per-worker peaks";
+  }
+}
+
+// Compiled stream vs interpreted walk on the flagship workload: real parsed
+// programs rather than generated trees, through both the exhaustive and the
+// storage evaluator.
+TEST(DifferentialTest, MiniPascalCompiledMatchesInterpreted) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::miniPascal(Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.dump();
+  DiagnosticEngine GD;
+  GeneratedEvaluator GE = generateEvaluator(AG, GD);
+  ASSERT_TRUE(GE.Success) << GD.dump();
+
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    std::string Src = workloads::generateMiniPascalSource(40, Seed);
+    DiagnosticEngine PD;
+    Tree T = workloads::parseMiniPascal(AG, Src, PD);
+    ASSERT_FALSE(PD.hasErrors()) << PD.dump();
+
+    Tree Compiled = cloneTree(AG, T);
+    Evaluator CE(GE.Plan);
+    DiagnosticEngine D1;
+    ASSERT_TRUE(CE.evaluate(Compiled, D1)) << D1.dump();
+
+    Tree Interp = cloneTree(AG, T);
+    Evaluator IE(GE.Plan);
+    IE.setUseInterpreted(true);
+    DiagnosticEngine D2;
+    ASSERT_TRUE(IE.evaluate(Interp, D2)) << D2.dump();
+    expectSameAttribution(AG, Compiled.root(), Interp.root(),
+                          "minipascal/interp");
+    EXPECT_EQ(IE.stats().RulesEvaluated, CE.stats().RulesEvaluated);
+    EXPECT_EQ(IE.stats().VisitsPerformed, CE.stats().VisitsPerformed);
+
+    Tree Storage = cloneTree(AG, T);
+    StorageEvaluator SE(GE.Plan, GE.Storage);
+    SE.setUseInterpreted(true);
+    SE.setMirrorToTree(true);
+    DiagnosticEngine D3;
+    ASSERT_TRUE(SE.evaluate(Storage, D3)) << D3.dump();
+    expectSameAttribution(AG, Compiled.root(), Storage.root(),
+                          "minipascal/storage-interp");
   }
 }
 

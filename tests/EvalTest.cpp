@@ -34,7 +34,7 @@ static Value rootAttr(const AttributeGrammar &AG, const Tree &T,
   PhylumId Start = AG.prod(T.root()->Prod).Lhs;
   AttrId A = AG.findAttr(Start, Name);
   EXPECT_NE(A, InvalidId);
-  return T.root()->AttrVals[AG.attr(A).IndexInOwner];
+  return T.root()->attrVal(AG.attr(A).IndexInOwner);
 }
 
 TEST(EvalTest, DeskCalculatorArithmetic) {
@@ -309,9 +309,9 @@ TEST(EvalTest, ExhaustiveEvaluationFillsEveryInstance) {
     TreeNode *N = Stack.back();
     Stack.pop_back();
     unsigned NumAttrs = AG.phylum(AG.prod(N->Prod).Lhs).Attrs.size();
-    ASSERT_EQ(N->AttrComputed.size(), NumAttrs);
+    ASSERT_EQ(unsigned(N->FrameAttrs), NumAttrs);
     for (unsigned I = 0; I != NumAttrs; ++I)
-      EXPECT_TRUE(N->AttrComputed[I]) << "uncomputed attribute instance";
+      EXPECT_TRUE(N->attrComputed(I)) << "uncomputed attribute instance";
     for (auto &C : N->Children)
       Stack.push_back(C.get());
   }
@@ -338,10 +338,11 @@ TEST_P(EvalAgreementTest, StaticAndDemandAgree) {
   DiagnosticEngine D;
   ASSERT_TRUE(E.evaluate(T, D)) << D.dump();
   PhylumId Start = AG.prod(T.root()->Prod).Lhs;
-  std::vector<Value> StaticVals = T.root()->AttrVals;
+  std::vector<Value> StaticVals(T.root()->Slots,
+                                T.root()->Slots + T.root()->FrameAttrs);
   ASSERT_TRUE(DE.evaluateAll(T, D)) << D.dump();
   for (unsigned I = 0; I != AG.phylum(Start).Attrs.size(); ++I)
-    EXPECT_TRUE(StaticVals[I].equals(T.root()->AttrVals[I]));
+    EXPECT_TRUE(StaticVals[I].equals(T.root()->attrVal(I)));
 }
 
 INSTANTIATE_TEST_SUITE_P(

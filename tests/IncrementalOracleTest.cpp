@@ -34,23 +34,22 @@ namespace {
 void expectSameAttribution(const AttributeGrammar &AG, const TreeNode *Ref,
                            const TreeNode *Got, const std::string &Tag) {
   ASSERT_EQ(Ref->Prod, Got->Prod) << Tag;
-  ASSERT_EQ(Ref->AttrComputed.size(), Got->AttrComputed.size()) << Tag;
-  for (unsigned I = 0; I != Ref->AttrComputed.size(); ++I) {
-    ASSERT_TRUE(Ref->AttrComputed[I])
+  ASSERT_EQ(Ref->FrameAttrs, Got->FrameAttrs) << Tag;
+  for (unsigned I = 0; I != Ref->FrameAttrs; ++I) {
+    ASSERT_TRUE(Ref->attrComputed(I))
         << Tag << ": oracle left an attribute uncomputed";
-    ASSERT_TRUE(Got->AttrComputed[I])
+    ASSERT_TRUE(Got->attrComputed(I))
         << Tag << ": incremental update left attribute " << I
         << " uncomputed at " << AG.prod(Got->Prod).Name;
-    EXPECT_TRUE(Ref->AttrVals[I].equals(Got->AttrVals[I]))
+    EXPECT_TRUE(Ref->attrVal(I).equals(Got->attrVal(I)))
         << Tag << ": attribute " << I << " at " << AG.prod(Ref->Prod).Name
-        << ": oracle " << Ref->AttrVals[I].str() << " vs incremental "
-        << Got->AttrVals[I].str();
+        << ": oracle " << Ref->attrVal(I).str() << " vs incremental "
+        << Got->attrVal(I).str();
   }
-  unsigned Locals =
-      std::min(Ref->LocalComputed.size(), Got->LocalComputed.size());
+  unsigned Locals = std::min(Ref->FrameLocals, Got->FrameLocals);
   for (unsigned I = 0; I != Locals; ++I)
-    if (Ref->LocalComputed[I] && Got->LocalComputed[I]) {
-      EXPECT_TRUE(Ref->LocalVals[I].equals(Got->LocalVals[I]))
+    if (Ref->localComputed(I) && Got->localComputed(I)) {
+      EXPECT_TRUE(Ref->localVal(I).equals(Got->localVal(I)))
           << Tag << ": local " << I << " at " << AG.prod(Ref->Prod).Name;
     }
   ASSERT_EQ(Ref->arity(), Got->arity()) << Tag;

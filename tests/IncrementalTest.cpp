@@ -29,7 +29,7 @@ static Value rootAttr(const AttributeGrammar &AG, const Tree &T,
   PhylumId Start = AG.prod(T.root()->Prod).Lhs;
   AttrId A = AG.findAttr(Start, Name);
   EXPECT_NE(A, InvalidId);
-  return T.root()->AttrVals[AG.attr(A).IndexInOwner];
+  return T.root()->attrVal(AG.attr(A).IndexInOwner);
 }
 
 TEST(IncrementalTest, SimpleEditPropagates) {

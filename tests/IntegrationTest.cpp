@@ -38,7 +38,7 @@ snapshot(const Tree &T) {
   while (!Work.empty()) {
     const TreeNode *N = Work.back();
     Work.pop_back();
-    Out.emplace_back(N, N->AttrVals);
+    Out.emplace_back(N, std::vector<Value>(N->Slots, N->Slots + N->FrameAttrs));
     for (const auto &C : N->Children)
       Work.push_back(C.get());
   }
@@ -232,12 +232,12 @@ TEST(StorageOnSuite, OptimizedRunsMatchReferenceRootOutputs) {
     PhylumId Root = AG.prod(T.root()->Prod).Lhs;
     AttrId Out = AG.findAttr(Root, "out");
     ASSERT_NE(Out, InvalidId);
-    Value Ref = T.root()->AttrVals[AG.attr(Out).IndexInOwner];
+    Value Ref = T.root()->attrVal(AG.attr(Out).IndexInOwner);
 
     StorageEvaluator SE(GE.Plan, GE.Storage);
     SE.setMirrorToTree(true);
     ASSERT_TRUE(SE.evaluate(T, ED)) << Ag.Name << ": " << ED.dump();
-    EXPECT_TRUE(Ref.equals(T.root()->AttrVals[AG.attr(Out).IndexInOwner]))
+    EXPECT_TRUE(Ref.equals(T.root()->attrVal(AG.attr(Out).IndexInOwner)))
         << Ag.Name;
     EXPECT_GT(SE.stats().reductionFactor(), 1.0) << Ag.Name;
   }

@@ -283,7 +283,7 @@ TEST(DriverTest, EndToEndCalcEvaluation) {
   ASSERT_TRUE(E.evaluate(T, TD)) << TD.dump();
   PhylumId Prog = LG.AG.findPhylum("Prog");
   AttrId Result = LG.AG.findAttr(Prog, "result");
-  EXPECT_EQ(T.root()->AttrVals[LG.AG.attr(Result).IndexInOwner].asInt(),
+  EXPECT_EQ(T.root()->attrVal(LG.AG.attr(Result).IndexInOwner).asInt(),
             6 * (6 + 1));
   EXPECT_FALSE(LG.RuntimeDiags->hasErrors()) << LG.RuntimeDiags->dump();
 }
@@ -322,7 +322,7 @@ end
   DiagnosticEngine TD;
   Tree T = readTerm(R.Grammars[0].AG, "Leaf<7>", TD);
   ASSERT_TRUE(E.evaluate(T, TD)) << TD.dump();
-  EXPECT_EQ(T.root()->AttrVals[0].asInt(), (7 + 7) * 3);
+  EXPECT_EQ(T.root()->attrVal(0).asInt(), (7 + 7) * 3);
 }
 
 TEST(DriverTest, MatchEvaluates) {
@@ -358,7 +358,7 @@ end
     Tree T = readTerm(R.Grammars[0].AG,
                       "Leaf<" + std::to_string(C.Lex) + ">", TD);
     ASSERT_TRUE(E.evaluate(T, TD)) << TD.dump();
-    EXPECT_EQ(T.root()->AttrVals[0].asString(), C.Expected);
+    EXPECT_EQ(T.root()->attrVal(0).asString(), C.Expected);
   }
 }
 

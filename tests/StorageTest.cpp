@@ -115,7 +115,7 @@ TEST(StorageEvaluatorTest, MatchesReferenceOnDeskCalc) {
   ASSERT_TRUE(Ref.evaluate(T, D)) << D.dump();
   PhylumId Prog = AG.findPhylum("Prog");
   AttrId Result = AG.findAttr(Prog, "result");
-  Value Expected = T.root()->AttrVals[AG.attr(Result).IndexInOwner];
+  Value Expected = T.root()->attrVal(AG.attr(Result).IndexInOwner);
   EXPECT_EQ(Expected.asInt(), 12);
 
   ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
@@ -123,7 +123,7 @@ TEST(StorageEvaluatorTest, MatchesReferenceOnDeskCalc) {
   SE.setMirrorToTree(true);
   ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
   EXPECT_TRUE(
-      Expected.equals(T.root()->AttrVals[AG.attr(Result).IndexInOwner]));
+      Expected.equals(T.root()->attrVal(AG.attr(Result).IndexInOwner)));
 }
 
 class StorageAgreementTest
@@ -154,16 +154,17 @@ TEST_P(StorageAgreementTest, MirroredStorageRunMatchesReference) {
   while (!Work.empty()) {
     TreeNode *N = Work.back();
     Work.pop_back();
-    Snapshot.emplace_back(N, N->AttrVals);
+    Snapshot.emplace_back(N,
+                          std::vector<Value>(N->Slots, N->Slots + N->FrameAttrs));
     for (auto &C : N->Children)
       Work.push_back(C.get());
   }
 
   ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
   for (auto &[N, Vals] : Snapshot) {
-    ASSERT_EQ(N->AttrVals.size(), Vals.size());
+    ASSERT_EQ(size_t(N->FrameAttrs), Vals.size());
     for (size_t I = 0; I != Vals.size(); ++I)
-      EXPECT_TRUE(Vals[I].equals(N->AttrVals[I]))
+      EXPECT_TRUE(Vals[I].equals(N->attrVal(I)))
           << AG.Name << " node " << AG.prod(N->Prod).Name << " attr " << I;
   }
 }
@@ -269,11 +270,11 @@ TEST(StorageIdMapTest, LocalsGetDistinctIds) {
   AttrOcc L1 = B.local(P, "tmp1");
   AttrOcc L2 = B.local(P, "tmp2");
   B.constant(P, L1, Value::ofInt(1));
-  B.rule(P, L2, {L1}, "inc", [](const std::vector<Value> &A) {
+  B.rule(P, L2, {L1}, "inc", [](std::span<const Value> A) {
     return Value::ofInt(A[0].asInt() + 1);
   });
   B.rule(P, AttrOcc::onSymbol(0, S), {L2}, "id",
-         [](const std::vector<Value> &A) { return A[0]; });
+         [](std::span<const Value> A) { return A[0]; });
   B.setStart(X);
   AttributeGrammar AG = B.finalize(Diags);
   ASSERT_FALSE(Diags.hasErrors()) << Diags.dump();
@@ -293,7 +294,7 @@ TEST(StorageIdMapTest, LocalsGetDistinctIds) {
   DiagnosticEngine D;
   Tree T = readTerm(AG, "Leaf", D);
   ASSERT_TRUE(SE.evaluate(T, D)) << D.dump();
-  EXPECT_EQ(T.root()->AttrVals[0].asInt(), 2);
+  EXPECT_EQ(T.root()->attrVal(0).asInt(), 2);
 }
 
 TEST(GroupingTest, GroupCountsNeverExceedClassCounts) {

@@ -84,6 +84,45 @@ TEST(ValueTest, Rendering) {
   EXPECT_EQ(Value::unit().str(), "()");
 }
 
+TEST(ValueTest, ListAppendBuilderIsLinear) {
+  // Regression for the quadratic listAppend: the rvalue overload must reuse
+  // the element vector when this value is its sole owner, so a 10k-element
+  // build stays amortized O(N). The loop below finishes instantly at O(N)
+  // and takes ~seconds of copying at O(N^2) with Value's copy costs —
+  // but the contract we can assert deterministically is representation
+  // reuse plus correct contents.
+  constexpr int N = 10000;
+  Value L = Value::ofList({});
+  const void *LastId = nullptr;
+  unsigned Reused = 0;
+  for (int I = 0; I != N; ++I) {
+    L = std::move(L).listAppend(Value::ofInt(I));
+    Reused += L.identity() == LastId;
+    LastId = L.identity();
+  }
+  ASSERT_EQ(L.asList().size(), size_t(N));
+  for (int I = 0; I != N; ++I)
+    EXPECT_EQ(L.asList()[I].asInt(), I);
+  // The sole-owner fast path must keep the same vector almost always
+  // (occasional growth reallocations keep the identity, since the vector
+  // object itself is reused; only the very first append may allocate).
+  EXPECT_GE(Reused, unsigned(N) - 2);
+
+  // The lvalue overload still copies: the original is not disturbed.
+  Value Short = Value::ofList({Value::ofInt(1)});
+  Value Extended = Short.listAppend(Value::ofInt(2));
+  EXPECT_EQ(Short.asList().size(), 1u);
+  EXPECT_EQ(Extended.asList().size(), 2u);
+  EXPECT_NE(Short.identity(), Extended.identity());
+
+  // A shared list must not be mutated by the rvalue path either.
+  Value Shared = Value::ofList({Value::ofInt(7)});
+  Value Alias = Shared;
+  Value Grown = std::move(Shared).listAppend(Value::ofInt(8));
+  EXPECT_EQ(Alias.asList().size(), 1u);
+  EXPECT_EQ(Grown.asList().size(), 2u);
+}
+
 TEST(ValueTest, SharedTailsCompareFast) {
   // Build a long chain once, extend it two different ways; equality on the
   // shared part must be correct.
