@@ -1,0 +1,147 @@
+//===- bench/generator_scaling.cpp - Cascade scaling: naive vs worklist ---===//
+//
+// The generator-cascade scaling study behind the worklist rewrite: SpecGen
+// synthesizes grammars of growing phylum/operator/attribute counts, and
+// each point runs the full front half of the generator — SNC, DNC, OAG
+// tests plus the transformation/partitioning phase — under both fixpoint
+// formulations:
+//
+//   naive     global re-sweeps, heap Digraphs, full Warshall closures
+//             (GfaOptions::NaiveFixpoint, the pre-rewrite formulation)
+//   worklist  per-production dirty bits, word-parallel paste/projection,
+//             incrementally re-closed cached closures, parallel rounds
+//             above the grammar-size gate
+//
+// Emits generator_scaling.json with one ms_per_round row per (spec, engine)
+// for bench_check.py trend tracking (baseline: BENCH_generator.json), and
+// prints the speedup table the README quotes. Exits 1 if a spec fails to
+// compile or the two engines disagree on the class — the bench doubles as
+// a coarse differential check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "ordered/Transform.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace fnc2;
+using namespace fnc2::bench;
+
+namespace {
+
+constexpr unsigned Rounds = 5;
+
+struct SweepPoint {
+  const char *Name;
+  unsigned Phyla, Ops, AttrPairs;
+};
+
+// The largest point is sized to clear the default parallel gate
+// (GfaOptions::ParallelMinWork) on its early all-dirty rounds.
+const SweepPoint Sweep[] = {
+    {"S1-small", 8, 3, 2},
+    {"S2-medium", 16, 4, 3},
+    {"S3-large", 28, 6, 4},
+    {"S4-xlarge", 48, 8, 7},
+};
+
+struct Entry {
+  std::string Spec;
+  std::string Engine;
+  double MsPerRound = 0;
+  std::string Class;
+};
+
+/// One cascade + transform run, the unit both engines are timed on. This is
+/// exactly the generator's phases 1-4 (figure 3) minus visit sequences and
+/// storage, which are independent of the fixpoint formulation.
+std::string runCascade(const AttributeGrammar &AG, const GfaOptions &Gfa) {
+  ClassifyResult R = classifyGrammar(AG, /*OagK=*/1, Gfa);
+  if (R.Class == AgClass::OAG)
+    (void)uniformInstances(AG, R.Oag.Partitions);
+  else if (R.Snc.IsSNC)
+    (void)sncToLOrdered(AG, R.Snc, ReuseMode::LongInclusion);
+  return R.className();
+}
+
+Entry measure(const std::string &Spec, const std::string &Engine,
+              const AttributeGrammar &AG, const GfaOptions &Gfa) {
+  Entry E;
+  E.Spec = Spec;
+  E.Engine = Engine;
+  E.Class = runCascade(AG, Gfa); // warm-up
+  Timer T;
+  for (unsigned R = 0; R != Rounds; ++R)
+    runCascade(AG, Gfa);
+  E.MsPerRound = T.seconds() * 1e3 / Rounds;
+  return E;
+}
+
+void emitJson(const std::vector<Entry> &Es) {
+  std::ofstream Out("generator_scaling.json");
+  Out << "{\n  \"rounds\": " << Rounds << ",\n  \"entries\": [\n";
+  for (size_t I = 0; I != Es.size(); ++I) {
+    const Entry &E = Es[I];
+    Out << "    {\"spec\": \"" << E.Spec << "\", \"engine\": \"" << E.Engine
+        << "\", \"class\": \"" << E.Class
+        << "\", \"ms_per_round\": " << E.MsPerRound << "}"
+        << (I + 1 == Es.size() ? "\n" : ",\n");
+  }
+  Out << "  ]\n}\n";
+}
+
+} // namespace
+
+int main() {
+  GfaOptions Naive;
+  Naive.NaiveFixpoint = true;
+  GfaOptions Worklist; // defaults: worklist engine, gated parallel rounds
+
+  std::vector<Entry> Entries;
+  TablePrinter T({"spec", "phyla", "prods", "class", "naive ms",
+                  "worklist ms", "speedup"});
+  bool Ok = true;
+  for (const SweepPoint &P : Sweep) {
+    workloads::SpecGenOptions Opts;
+    Opts.Name = "Scale" + std::to_string(P.Phyla);
+    Opts.Phyla = P.Phyla;
+    Opts.OperatorsPerPhylum = P.Ops;
+    Opts.AttrPairs = P.AttrPairs;
+    Opts.Seed = 7;
+    DiagnosticEngine Diags;
+    olga::CompileResult C =
+        olga::compileMolga(workloads::generateMolgaSpec(Opts), Diags);
+    if (!C.Success) {
+      std::fprintf(stderr, "%s: compile failed:\n%s\n", P.Name,
+                   Diags.dump().c_str());
+      return 1;
+    }
+    const AttributeGrammar &AG = C.Grammars[0].AG;
+
+    Entry N = measure(P.Name, "naive", AG, Naive);
+    Entry W = measure(P.Name, "worklist", AG, Worklist);
+    if (N.Class != W.Class) {
+      std::fprintf(stderr, "%s: engines disagree: naive=%s worklist=%s\n",
+                   P.Name, N.Class.c_str(), W.Class.c_str());
+      Ok = false;
+    }
+    double Speedup = W.MsPerRound > 0 ? N.MsPerRound / W.MsPerRound : 0;
+    T.addRow({P.Name, std::to_string(P.Phyla),
+              std::to_string(AG.numProds()), W.Class,
+              TablePrinter::num(N.MsPerRound, 3),
+              TablePrinter::num(W.MsPerRound, 3),
+              TablePrinter::num(Speedup, 2) + "x"});
+    Entries.push_back(N);
+    Entries.push_back(W);
+  }
+
+  std::printf("== generator cascade scaling (SNC+DNC+OAG+transform, "
+              "%u rounds per point) ==\n%s\n",
+              Rounds, T.str().c_str());
+  emitJson(Entries);
+  std::printf("wrote generator_scaling.json\n");
+  return Ok ? 0 : 1;
+}

@@ -5,16 +5,18 @@
 #   1. Release-ish build of everything + the full test suite (including the
 #      incremental edit-oracle and the golden-trace suites).
 #   2. Perf baselines: the observability-overhead bench (evaluator family
-#      timings, tracing off vs on) and the batch-throughput bench; their
-#      JSON outputs are copied to BENCH_evaluators.json and BENCH_batch.json
-#      at the repo root on every run.
+#      timings, tracing off vs on), the batch-throughput bench and the
+#      generator-scaling bench (cascade: naive vs worklist fixpoint); their
+#      JSON outputs are copied to BENCH_evaluators.json, BENCH_batch.json
+#      and BENCH_generator.json at the repo root on every run.
 #   3. bench_check: the fresh bench JSONs are diffed against the committed
 #      baselines; any shared data point more than 25% worse fails the run
 #      (bench/bench_check.py — tolerant to added/removed points).
 #   4. ThreadSanitizer build (-DFNC2_SANITIZE=thread) + the concurrency,
-#      differential, interning, trace and oracle tests, which exercise the
-#      shared-plan read path, the string-interning pool and the per-thread
-#      trace buffers from many threads.
+#      differential, interning, trace, oracle and parallel-cascade tests,
+#      which exercise the shared-plan read path, the string-interning pool,
+#      the per-thread trace buffers and the fixpoint engine's parallel
+#      rounds from many threads.
 #
 # Usage: ./ci.sh [jobs]
 set -eu
@@ -27,11 +29,12 @@ cmake -B "$SRC/build" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$SRC/build" -j "$JOBS"
 ctest --test-dir "$SRC/build" --output-on-failure -j "$JOBS"
 
-echo "== [2/4] perf baselines (observability overhead + batch throughput) =="
+echo "== [2/4] perf baselines (observability + batch + generator scaling) =="
 cmake --build "$SRC/build" -j "$JOBS" \
-      --target observability_overhead batch_throughput
+      --target observability_overhead batch_throughput generator_scaling
 (cd "$SRC/build/bench" && ./observability_overhead)
 (cd "$SRC/build/bench" && ./batch_throughput --benchmark_min_time=0.05s)
+(cd "$SRC/build/bench" && ./generator_scaling)
 
 echo "== [3/4] bench_check against committed baselines =="
 if [ -f "$SRC/BENCH_evaluators.json" ]; then
@@ -42,17 +45,22 @@ if [ -f "$SRC/BENCH_batch.json" ]; then
   python3 "$SRC/bench/bench_check.py" "$SRC/BENCH_batch.json" \
           "$SRC/build/bench/batch_throughput.json"
 fi
+if [ -f "$SRC/BENCH_generator.json" ]; then
+  python3 "$SRC/bench/bench_check.py" "$SRC/BENCH_generator.json" \
+          "$SRC/build/bench/generator_scaling.json"
+fi
 cp "$SRC/build/bench/evaluator_baselines.json" "$SRC/BENCH_evaluators.json"
 cp "$SRC/build/bench/batch_throughput.json" "$SRC/BENCH_batch.json"
-echo "wrote BENCH_evaluators.json, BENCH_batch.json"
+cp "$SRC/build/bench/generator_scaling.json" "$SRC/BENCH_generator.json"
+echo "wrote BENCH_evaluators.json, BENCH_batch.json, BENCH_generator.json"
 
 echo "== [4/4] ThreadSanitizer build + race gate =="
 cmake -B "$SRC/build-tsan" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DFNC2_SANITIZE=thread
 cmake --build "$SRC/build-tsan" -j "$JOBS" \
       --target concurrency_test differential_test value_intern_test \
-               trace_test incremental_oracle_test
+               trace_test incremental_oracle_test analysis_test
 ctest --test-dir "$SRC/build-tsan" --output-on-failure -j "$JOBS" \
-      -R 'ThreadPool|Concurrency|Differential|ValueIntern|Trace|Oracle'
+      -R 'ThreadPool|Concurrency|Differential|ValueIntern|Trace|Oracle|Cascade'
 
 echo "ci.sh: all green"

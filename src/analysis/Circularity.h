@@ -49,7 +49,9 @@ struct SncResult {
 };
 
 /// Runs the SNC test. Requires AG.buildProductionInfo() to have run.
-SncResult runSncTest(const AttributeGrammar &AG);
+/// \p Opts selects between the worklist engine (default) and the naive
+/// reference fixpoint, and tunes the parallel-round gate.
+SncResult runSncTest(const AttributeGrammar &AG, const GfaOptions &Opts = {});
 
 /// Result of the DNC test.
 struct DncResult {
@@ -62,7 +64,8 @@ struct DncResult {
 
 /// Runs the DNC test on top of an SNC result (the cascade never runs DNC
 /// without SNC having succeeded, matching the paper's phase ordering).
-DncResult runDncTest(const AttributeGrammar &AG, const SncResult &Snc);
+DncResult runDncTest(const AttributeGrammar &AG, const SncResult &Snc,
+                     const GfaOptions &Opts = {});
 
 /// Result of the plain (Knuth) non-circularity test.
 struct NcResult {

@@ -20,12 +20,12 @@ std::string ClassifyResult::className() const {
   return "?";
 }
 
-ClassifyResult fnc2::classifyGrammar(const AttributeGrammar &AG,
-                                     unsigned OagK) {
+ClassifyResult fnc2::classifyGrammar(const AttributeGrammar &AG, unsigned OagK,
+                                     const GfaOptions &Opts) {
   ClassifyResult R;
   {
     FNC2_SPAN("classify.snc");
-    R.Snc = runSncTest(AG);
+    R.Snc = runSncTest(AG, Opts);
   }
   if (!R.Snc.IsSNC) {
     R.Class = AgClass::NotSNC;
@@ -35,7 +35,7 @@ ClassifyResult fnc2::classifyGrammar(const AttributeGrammar &AG,
 
   {
     FNC2_SPAN("classify.dnc");
-    R.Dnc = runDncTest(AG, R.Snc);
+    R.Dnc = runDncTest(AG, R.Snc, Opts);
   }
   R.DncRan = true;
   if (!R.Dnc.IsDNC)
@@ -44,7 +44,7 @@ ClassifyResult fnc2::classifyGrammar(const AttributeGrammar &AG,
 
   {
     FNC2_SPAN("classify.oag");
-    R.Oag = runOagTest(AG, OagK);
+    R.Oag = runOagTest(AG, OagK, Opts);
   }
   R.OagRan = true;
   if (R.Oag.IsOAG)

@@ -2,35 +2,57 @@
 
 #include "analysis/Oag.h"
 
+#include "gfa/FixpointEngine.h"
 #include "support/Trace.h"
 
 using namespace fnc2;
 
 /// Computes the IDS fixpoint: the symbol relation is pasted at *every*
 /// position (Kastens closes from below and above simultaneously). Returns
-/// false (with a witness) if some induced production graph is cyclic.
-static bool computeIds(const AttributeGrammar &AG, PhylumRelation &IDS,
-                       CycleWitness &Witness, unsigned &Iterations) {
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    ++Iterations;
-    FNC2_COUNT("oag.ids_iterations", 1);
+/// false (with a witness) if some induced production graph is cyclic. The
+/// projections never add diagonal bits, so even a cyclic IDS converges;
+/// both formulations run to the fixpoint and then pick the first cyclic
+/// production in ProdId order, making the witness independent of the
+/// iteration strategy.
+static bool computeIds(const AttributeGrammar &AG, const GfaOptions &Opts,
+                       PhylumRelation &IDS, CycleWitness &Witness,
+                       unsigned &Iterations) {
+  AugmentOptions Paste;
+  Paste.Below = &IDS;
+  Paste.BelowOnLhs = &IDS;
+
+  if (Opts.NaiveFixpoint) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      ++Iterations;
+      FNC2_COUNT("oag.ids_iterations", 1);
+      for (ProdId P = 0; P != AG.numProds(); ++P) {
+        Digraph G = buildAugmentedGraph(AG, P, Paste);
+        BitMatrix Closure = closureOf(G);
+        Changed |= projectOntoSymbol(AG, P, 0, Closure, IDS);
+        for (unsigned C = 0; C != AG.prod(P).arity(); ++C)
+          Changed |= projectOntoSymbol(AG, P, C + 1, Closure, IDS);
+      }
+    }
     for (ProdId P = 0; P != AG.numProds(); ++P) {
-      AugmentOptions Opts;
-      Opts.Below = &IDS;
-      Opts.BelowOnLhs = &IDS;
-      Digraph G = buildAugmentedGraph(AG, P, Opts);
-      BitMatrix Closure = closureOf(G);
-      if (Closure.hasReflexiveBit()) {
+      Digraph G = buildAugmentedGraph(AG, P, Paste);
+      std::vector<unsigned> Cycle = G.findCycle();
+      if (!Cycle.empty()) {
         Witness.Prod = P;
-        Witness.Cycle = G.findCycle();
+        Witness.Cycle = std::move(Cycle);
         return false;
       }
-      Changed |= projectOntoSymbol(AG, P, 0, Closure, IDS);
-      for (unsigned C = 0; C != AG.prod(P).arity(); ++C)
-        Changed |= projectOntoSymbol(AG, P, C + 1, Closure, IDS);
     }
+    return true;
+  }
+
+  GfaFixpoint Engine(AG, Opts);
+  Iterations += Engine.run(Paste, GfaProject::All, IDS);
+  if (ProdId Bad = Engine.firstCyclicProd(); Bad != InvalidId) {
+    Witness.Prod = Bad;
+    Witness.Cycle = buildAugmentedGraph(AG, Bad, Paste).findCycle();
+    return false;
   }
   return true;
 }
@@ -46,8 +68,7 @@ static Digraph buildEdp(const AttributeGrammar &AG, ProdId P,
   auto paste = [&](PhylumId Phy, unsigned Pos) {
     if (AG.phylum(Phy).Attrs.empty())
       return;
-    OccId Base = PI.occId(AttrOcc::onSymbol(Pos, AG.phylum(Phy).Attrs.front()));
-    Parts[Phy].addOrderEdges(G, Base);
+    Parts[Phy].addOrderEdges(G, PI.posBase(Pos));
   };
   paste(Pr.Lhs, 0);
   for (unsigned C = 0; C != Pr.arity(); ++C)
@@ -55,12 +76,13 @@ static Digraph buildEdp(const AttributeGrammar &AG, ProdId P,
   return G;
 }
 
-OagResult fnc2::runOagTest(const AttributeGrammar &AG, unsigned K) {
+OagResult fnc2::runOagTest(const AttributeGrammar &AG, unsigned K,
+                           const GfaOptions &Opts) {
   FNC2_SPAN("oag.test");
   OagResult R;
   R.IDS = PhylumRelation(AG);
 
-  if (!computeIds(AG, R.IDS, R.Witness, R.Iterations))
+  if (!computeIds(AG, Opts, R.IDS, R.Witness, R.Iterations))
     return R;
 
   // Extra order constraints accumulated by repair rounds; merged into the

@@ -46,7 +46,10 @@ struct OagResult {
 
 /// Runs the OAG(k) test with repair budget \p K (default: the paper's
 /// default OAG(0)). Requires AG.buildProductionInfo() to have run.
-OagResult runOagTest(const AttributeGrammar &AG, unsigned K = 0);
+/// \p Opts selects the IDS fixpoint formulation (worklist engine vs naive
+/// reference) and tunes the parallel-round gate.
+OagResult runOagTest(const AttributeGrammar &AG, unsigned K = 0,
+                     const GfaOptions &Opts = {});
 
 } // namespace fnc2
 

@@ -17,7 +17,7 @@ GeneratedEvaluator fnc2::generateEvaluator(const AttributeGrammar &AG,
   // Phase 1: SNC test; abort with the circularity trace on failure.
   {
     FNC2_SPAN("generate.snc");
-    G.Classes.Snc = runSncTest(AG);
+    G.Classes.Snc = runSncTest(AG, Opts.Gfa);
   }
   G.Times.Snc = Phase.seconds();
   if (!G.Classes.Snc.IsSNC) {
@@ -34,7 +34,7 @@ GeneratedEvaluator fnc2::generateEvaluator(const AttributeGrammar &AG,
   Phase.reset();
   {
     FNC2_SPAN("generate.dnc");
-    G.Classes.Dnc = runDncTest(AG, G.Classes.Snc);
+    G.Classes.Dnc = runDncTest(AG, G.Classes.Snc, Opts.Gfa);
   }
   G.Classes.DncRan = true;
   G.Times.Dnc = Phase.seconds();
@@ -46,7 +46,7 @@ GeneratedEvaluator fnc2::generateEvaluator(const AttributeGrammar &AG,
     Phase.reset();
     {
       FNC2_SPAN("generate.oag");
-      G.Classes.Oag = runOagTest(AG, Opts.OagK);
+      G.Classes.Oag = runOagTest(AG, Opts.OagK, Opts.Gfa);
     }
     G.Classes.OagRan = true;
     G.Times.Oag = Phase.seconds();

@@ -39,6 +39,8 @@ struct GeneratorOptions {
   /// Run the space optimizer (off reproduces the development mode that
   /// skips memory mapping).
   bool SpaceOptimize = true;
+  /// Fixpoint formulation and parallel-round gate for the three class tests.
+  GfaOptions Gfa;
 };
 
 /// Wall-clock seconds per generator phase (figure 3's boxes).

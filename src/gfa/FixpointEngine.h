@@ -1,0 +1,112 @@
+//===- gfa/FixpointEngine.h - Worklist GFA fixpoint engine ------*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared engine behind the SNC, DNC and OAG-IDS fixpoints. The textbook
+/// formulation re-sweeps every production each iteration, rebuilding its
+/// augmented dependency graph on the heap, re-running a full Warshall
+/// closure and projecting bit by bit. This engine replaces all of that with:
+///
+///  * worklist rounds — a phylum -> productions incidence map (built once on
+///    the AttributeGrammar) dirties exactly the productions incident to a
+///    phylum whose relation changed in the previous round;
+///  * word-parallel dense kernels — each production's occurrence matrix is
+///    built directly from the precomputed DP BitMatrix, relations are pasted
+///    and projected 64 bits per operation via BitMatrix::orRowSpan;
+///  * incremental closures — each production caches its occurrence matrix
+///    and its transitive closure across rounds; a re-processed production
+///    only propagates the edges that are new since its last closure
+///    (BitMatrix::closeWithEdge), falling back to a closure-seeded Warshall
+///    when a round adds many edges at once;
+///  * gated parallelism — the independent closure steps of one round fan
+///    across a support/ThreadPool with a deterministic merge of projections
+///    (order-independent ORs into the target PhylumRelation), but only once
+///    the round's pending work passes the GfaOptions::ParallelMinWork
+///    grammar-size gate.
+///
+/// Chaotic-iteration of a monotone operator over a finite lattice converges
+/// to the unique least fixpoint regardless of processing order, so the
+/// relations this engine computes are bit-identical to the naive sweep's
+/// (pinned by the differential tests in tests/AnalysisTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_GFA_FIXPOINTENGINE_H
+#define FNC2_GFA_FIXPOINTENGINE_H
+
+#include "gfa/GrammarFlow.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace fnc2 {
+
+class ThreadPool;
+
+/// Which occurrence blocks of the closed production graph are projected
+/// back into the target relation each round: the LHS block (SNC), the child
+/// blocks (DNC), or every block (OAG's IDS).
+enum class GfaProject : uint8_t { Lhs, Children, All };
+
+/// One fixpoint run over a grammar. The caches live as long as the engine,
+/// so a test can run the fixpoint and then read the final closures for its
+/// acyclicity check without rebuilding a single augmented graph.
+class GfaFixpoint {
+public:
+  GfaFixpoint(const AttributeGrammar &AG, const GfaOptions &Opts);
+  ~GfaFixpoint();
+
+  /// Runs the worklist fixpoint to convergence: every production starts
+  /// dirty; each round re-pastes \p Paste onto the dirty productions'
+  /// cached occurrence matrices, re-closes them incrementally, and merges
+  /// the \p Kind projections into \p Target, dirtying the productions
+  /// incident to any phylum whose relation grew. \p Target must be one of
+  /// the relations \p Paste points at (that feedback is what makes it a
+  /// fixpoint). Returns the number of rounds.
+  unsigned run(const AugmentOptions &Paste, GfaProject Kind,
+               PhylumRelation &Target);
+
+  /// The cached closure of production \p P's augmented graph; consistent
+  /// with the final relations once run() returned.
+  const BitMatrix &closure(ProdId P) const { return Closures[P]; }
+
+  /// First production (in ProdId order) whose closed augmented graph
+  /// contains a cycle, or InvalidId when all are acyclic. This is the
+  /// SNC/DNC/IDS acyclicity check, straight off the cached closures.
+  ProdId firstCyclicProd() const;
+
+private:
+  /// Rebuilds production \p P's occurrence matrix (pasting \p Paste
+  /// word-parallel), collects the edges new since its cached closure, and
+  /// re-closes. \p ColBuf is the calling worker's scratch for newly-set
+  /// column indices.
+  void processProd(ProdId P, const AugmentOptions &Paste,
+                   std::vector<unsigned> &ColBuf);
+
+  /// Applies the grammar-size gate to one round's pending closure work;
+  /// lazily spins the pool up on the first round big enough to need it.
+  bool gateParallel(uint64_t WorkBits, size_t DirtyCount);
+
+  const AttributeGrammar &AG;
+  GfaOptions Opts;
+
+  /// Per-production buffers, reused across rounds: the occurrence matrix,
+  /// its transitive closure, and the new-edge list of the current round.
+  std::vector<BitMatrix> OccMats;
+  std::vector<BitMatrix> Closures;
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> NewEdgeBufs;
+  std::vector<char> HasCache;
+
+  std::unique_ptr<ThreadPool> Pool;
+  /// Per-worker scratch for orRowSpanCollect (index 0 doubles as the
+  /// sequential path's scratch).
+  std::vector<std::vector<unsigned>> ColBufs;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_GFA_FIXPOINTENGINE_H

@@ -33,17 +33,10 @@ static void pasteRelation(Digraph &G, const AttributeGrammar &AG, PhylumId Phy,
 }
 
 /// Returns the dense occurrence id of the first attribute of the symbol at
-/// position \p Pos within production \p P. Relies on the canonical layout
-/// built by AttributeGrammar::buildProductionInfo().
+/// position \p Pos within production \p P, precomputed per position by
+/// AttributeGrammar::buildProductionInfo().
 static OccId symbolBase(const AttributeGrammar &AG, ProdId P, unsigned Pos) {
-  const Production &Pr = AG.prod(P);
-  OccId Base = 0;
-  if (Pos == 0)
-    return Base;
-  Base += static_cast<OccId>(AG.phylum(Pr.Lhs).Attrs.size());
-  for (unsigned C = 0; C + 1 < Pos; ++C)
-    Base += static_cast<OccId>(AG.phylum(Pr.Rhs[C]).Attrs.size());
-  return Base;
+  return AG.info(P).posBase(Pos);
 }
 
 Digraph fnc2::buildAugmentedGraph(const AttributeGrammar &AG, ProdId P,

@@ -56,11 +56,14 @@ void AttributeGrammar::buildProductionInfo() {
       PI.OccIndex.emplace(O, static_cast<OccId>(PI.Occs.size()));
       PI.Occs.push_back(O);
     };
+    PI.PosBase.push_back(0);
     for (AttrId A : Phyla[Pr.Lhs].Attrs)
       addOcc(AttrOcc::onSymbol(0, A));
-    for (unsigned C = 0; C != Pr.arity(); ++C)
+    for (unsigned C = 0; C != Pr.arity(); ++C) {
+      PI.PosBase.push_back(static_cast<OccId>(PI.Occs.size()));
       for (AttrId A : Phyla[Pr.Rhs[C]].Attrs)
         addOcc(AttrOcc::onSymbol(C + 1, A));
+    }
     for (unsigned L = 0; L != Pr.Locals.size(); ++L)
       addOcc(AttrOcc::local(L));
     if (Pr.HasLexeme)
@@ -81,6 +84,27 @@ void AttributeGrammar::buildProductionInfo() {
           continue;
         PI.DepGraph.addEdge(ArgIt->second, TargetIt->second);
       }
+    }
+
+    PI.DepMatrix = BitMatrix(PI.numOccs(), PI.numOccs());
+    for (OccId O = 0; O != PI.numOccs(); ++O)
+      for (unsigned T : PI.DepGraph.successors(O))
+        PI.DepMatrix.set(O, T);
+  }
+
+  // Phylum -> production incidence for the worklist fixpoints.
+  RhsProds.assign(numPhyla(), {});
+  IncidentProds.assign(numPhyla(), {});
+  for (ProdId P = 0, E = numProds(); P != E; ++P) {
+    const Production &Pr = Prods[P];
+    auto addOnce = [P](std::vector<ProdId> &List) {
+      if (List.empty() || List.back() != P)
+        List.push_back(P);
+    };
+    addOnce(IncidentProds[Pr.Lhs]);
+    for (PhylumId C : Pr.Rhs) {
+      addOnce(RhsProds[C]);
+      addOnce(IncidentProds[C]);
     }
   }
 }

@@ -6,6 +6,78 @@
 
 using namespace fnc2;
 
+/// Shared core of the two span-OR entry points: applies the source span to
+/// the destination row word by word, calling \p OnNew(Word, NewBits) for
+/// every destination word that gained bits.
+template <typename OnNewFn>
+static bool orRowSpanImpl(BitMatrix &M, unsigned Dst, unsigned DstCol,
+                          const BitMatrix &Other, unsigned Src,
+                          unsigned SrcCol, unsigned Len, unsigned Skip,
+                          OnNewFn &&OnNew) {
+  if (Len == 0)
+    return false;
+  bool Changed = false;
+  unsigned FirstW = DstCol / 64, LastW = (DstCol + Len - 1) / 64;
+  for (unsigned W = FirstW; W <= LastW; ++W) {
+    // Destination bits of word W covered by the span.
+    unsigned Lo = W == FirstW ? DstCol : W * 64;
+    unsigned Hi = W == LastW ? DstCol + Len : (W + 1) * 64;
+    uint64_t Bits = Other.extractBits(Src, SrcCol + (Lo - DstCol), Hi - Lo)
+                    << (Lo - W * 64);
+    if (Skip != BitMatrix::NoSkip) {
+      unsigned SkipAbs = DstCol + Skip;
+      if (SkipAbs >= W * 64 && SkipAbs < (W + 1) * 64)
+        Bits &= ~(uint64_t(1) << (SkipAbs % 64));
+    }
+    uint64_t New = Bits & ~M.rowWord(Dst, W);
+    if (New != 0) {
+      M.rowWord(Dst, W) |= New;
+      Changed = true;
+      OnNew(W, New);
+    }
+  }
+  return Changed;
+}
+
+bool BitMatrix::orRowSpan(unsigned Dst, unsigned DstCol,
+                          const BitMatrix &Other, unsigned Src,
+                          unsigned SrcCol, unsigned Len, unsigned Skip) {
+  assert(Dst < NumRows && DstCol + Len <= NumCols && "dst span out of range");
+  return orRowSpanImpl(*this, Dst, DstCol, Other, Src, SrcCol, Len, Skip,
+                       [](unsigned, uint64_t) {});
+}
+
+bool BitMatrix::orRowSpanCollect(unsigned Dst, unsigned DstCol,
+                                 const BitMatrix &Other, unsigned Src,
+                                 unsigned SrcCol, unsigned Len,
+                                 std::vector<unsigned> &NewCols,
+                                 unsigned Skip) {
+  assert(Dst < NumRows && DstCol + Len <= NumCols && "dst span out of range");
+  return orRowSpanImpl(*this, Dst, DstCol, Other, Src, SrcCol, Len, Skip,
+                       [&](unsigned W, uint64_t New) {
+                         while (New != 0) {
+                           unsigned B = std::countr_zero(New);
+                           NewCols.push_back(W * 64 + B);
+                           New &= New - 1;
+                         }
+                       });
+}
+
+void BitMatrix::closeWithEdge(unsigned From, unsigned To) {
+  assert(NumRows == NumCols && "closure needs a square matrix");
+  if (test(From, To))
+    return;
+  // Every row that reaches From (plus From itself) now reaches To and
+  // everything To reaches. Row To may itself grow mid-loop when the new
+  // edge closes a cycle; absorbing the grown row is still within the
+  // closure, and the To column bit is set unconditionally.
+  for (unsigned I = 0; I != NumRows; ++I)
+    if (I == From || test(I, From)) {
+      orRow(I, *this, To);
+      set(I, To);
+    }
+}
+
 void BitMatrix::transitiveClosure() {
   assert(NumRows == NumCols && "closure needs a square matrix");
   // Warshall's algorithm with word-parallel row union: if (I, K) is set,

@@ -25,6 +25,9 @@ namespace fnc2 {
 /// Dense R x C boolean matrix stored row-major in 64-bit words.
 class BitMatrix {
 public:
+  /// Sentinel for orRowSpan's skip parameter: no bit is skipped.
+  static constexpr unsigned NoSkip = ~0u;
+
   BitMatrix() = default;
 
   /// Creates an all-zero matrix with \p Rows rows and \p Cols columns.
@@ -71,6 +74,42 @@ public:
     return Changed;
   }
 
+  /// Reads \p Len (1..64) bits of row \p R starting at column \p Col into
+  /// the low bits of one word. The span may straddle a word boundary.
+  uint64_t extractBits(unsigned R, unsigned Col, unsigned Len) const {
+    assert(Len >= 1 && Len <= 64 && Col + Len <= NumCols && "bad bit span");
+    unsigned W = Col / 64, Off = Col % 64;
+    uint64_t Bits = word(R, W) >> Off;
+    if (Off != 0 && W + 1 < WordsPerRow)
+      Bits |= word(R, W + 1) << (64 - Off);
+    if (Len < 64)
+      Bits &= (uint64_t(1) << Len) - 1;
+    return Bits;
+  }
+
+  /// Shifted-block row OR: ors \p Len bits of row \p Src of \p Other
+  /// starting at column \p SrcCol into row \p Dst of this matrix starting
+  /// at column \p DstCol, 64 bits per operation regardless of alignment.
+  /// The destination bit at relative index \p Skip (if any) is left
+  /// untouched. Returns true iff any destination bit changed.
+  bool orRowSpan(unsigned Dst, unsigned DstCol, const BitMatrix &Other,
+                 unsigned Src, unsigned SrcCol, unsigned Len,
+                 unsigned Skip = NoSkip);
+
+  /// Like orRowSpan, additionally appending the absolute destination column
+  /// of every newly-set bit to \p NewCols (in ascending order).
+  bool orRowSpanCollect(unsigned Dst, unsigned DstCol, const BitMatrix &Other,
+                        unsigned Src, unsigned SrcCol, unsigned Len,
+                        std::vector<unsigned> &NewCols,
+                        unsigned Skip = NoSkip);
+
+  /// Given a transitively closed square matrix, inserts edge
+  /// (\p From, \p To) and restores closure: every row reaching \p From
+  /// absorbs row \p To. O(rows) word-parallel row ORs instead of a full
+  /// Warshall pass, which is what lets the GFA fixpoints re-close a cached
+  /// closure after a handful of new edges.
+  void closeWithEdge(unsigned From, unsigned To);
+
   /// Ors \p Other into this matrix element-wise; returns true iff changed.
   bool orInPlace(const BitMatrix &Other) {
     assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
@@ -100,6 +139,11 @@ public:
 
   /// Number of set bits in the whole matrix.
   unsigned count() const;
+
+  /// Direct access to word \p W of row \p R (for the word-parallel span
+  /// primitives; bit i of the word is column W*64+i).
+  uint64_t &rowWord(unsigned R, unsigned W) { return word(R, W); }
+  uint64_t rowWord(unsigned R, unsigned W) const { return word(R, W); }
 
 private:
   uint64_t &word(unsigned R, unsigned W) {

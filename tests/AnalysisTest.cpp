@@ -1,7 +1,9 @@
 //===- tests/AnalysisTest.cpp - circularity test suite --------------------===//
 
 #include "analysis/Classify.h"
+#include "olga/Driver.h"
 #include "workloads/ClassicGrammars.h"
+#include "workloads/SpecGen.h"
 
 #include <gtest/gtest.h>
 
@@ -194,6 +196,131 @@ TEST(PhylumRelationTest, TotalPairsCountsAcrossPhyla) {
   AttributeGrammar AG = workloads::binaryNumbers(Diags);
   SncResult R = runSncTest(AG);
   EXPECT_GT(R.IO.totalPairs(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Worklist / parallel cascade vs naive reference
+//===----------------------------------------------------------------------===//
+
+/// Runs the cascade under \p Opts and \p Ref and asserts bit-identical
+/// relations, identical class verdicts and identical cycle witnesses. The
+/// fixpoints are chaotic iterations of one monotone operator on a finite
+/// lattice, so any strategy reaches the same least fixpoint; the witness is
+/// picked post-convergence in ProdId order on both sides.
+void expectCascadeAgrees(const AttributeGrammar &AG, const GfaOptions &Opts,
+                         const char *Tag) {
+  GfaOptions Ref;
+  Ref.NaiveFixpoint = true;
+  ClassifyResult A = classifyGrammar(AG, /*OagK=*/1, Ref);
+  ClassifyResult B = classifyGrammar(AG, /*OagK=*/1, Opts);
+
+  EXPECT_EQ(A.className(), B.className()) << Tag;
+  EXPECT_EQ(A.Snc.IsSNC, B.Snc.IsSNC) << Tag;
+  EXPECT_TRUE(A.Snc.IO == B.Snc.IO) << Tag << ": IO relations differ";
+  EXPECT_EQ(A.Snc.Witness.Prod, B.Snc.Witness.Prod) << Tag;
+  EXPECT_EQ(A.Snc.Witness.Cycle, B.Snc.Witness.Cycle) << Tag;
+  ASSERT_EQ(A.DncRan, B.DncRan) << Tag;
+  if (A.DncRan) {
+    EXPECT_EQ(A.Dnc.IsDNC, B.Dnc.IsDNC) << Tag;
+    EXPECT_TRUE(A.Dnc.OI == B.Dnc.OI) << Tag << ": OI relations differ";
+    EXPECT_EQ(A.Dnc.Witness.Prod, B.Dnc.Witness.Prod) << Tag;
+    EXPECT_EQ(A.Dnc.Witness.Cycle, B.Dnc.Witness.Cycle) << Tag;
+  }
+  ASSERT_EQ(A.OagRan, B.OagRan) << Tag;
+  if (A.OagRan) {
+    EXPECT_EQ(A.Oag.IsOAG, B.Oag.IsOAG) << Tag;
+    EXPECT_EQ(A.Oag.UsedK, B.Oag.UsedK) << Tag;
+    EXPECT_TRUE(A.Oag.IDS == B.Oag.IDS) << Tag << ": IDS relations differ";
+    EXPECT_EQ(A.Oag.Witness.Prod, B.Oag.Witness.Prod) << Tag;
+    EXPECT_EQ(A.Oag.Witness.Cycle, B.Oag.Witness.Cycle) << Tag;
+  }
+}
+
+using GrammarFactory = AttributeGrammar (*)(DiagnosticEngine &);
+
+const std::pair<const char *, GrammarFactory> ClassicCases[] = {
+    {"deskCalculator", workloads::deskCalculator},
+    {"binaryNumbers", workloads::binaryNumbers},
+    {"repmin", workloads::repmin},
+    {"circularGrammar", workloads::circularGrammar},
+    {"twoContextGrammar", workloads::twoContextGrammar},
+    {"dncNotOagGrammar", workloads::dncNotOagGrammar},
+    {"oag1Grammar", workloads::oag1Grammar},
+};
+
+TEST(CascadeDifferentialTest, WorklistAgreesWithNaiveOnClassics) {
+  for (auto [Name, Make] : ClassicCases) {
+    DiagnosticEngine Diags;
+    AttributeGrammar AG = Make(Diags);
+    expectCascadeAgrees(AG, GfaOptions{}, Name);
+  }
+}
+
+TEST(CascadeDifferentialTest, ForcedParallelAgreesWithNaiveOnClassics) {
+  GfaOptions Par;
+  Par.Threads = 4;
+  Par.ParallelMinWork = 0; // every round fans out, even on tiny grammars
+  for (auto [Name, Make] : ClassicCases) {
+    DiagnosticEngine Diags;
+    AttributeGrammar AG = Make(Diags);
+    expectCascadeAgrees(AG, Par, Name);
+  }
+}
+
+TEST(CascadeDifferentialTest, AgreesOnSpecGenSweep) {
+  GfaOptions Par;
+  Par.Threads = 4;
+  Par.ParallelMinWork = 0;
+  using Shape = workloads::SpecGenOptions::Shape;
+  for (Shape S : {Shape::Oag0, Shape::Oag1, Shape::Dnc}) {
+    for (uint64_t Seed : {7u, 21u}) {
+      workloads::SpecGenOptions Opts;
+      Opts.Name = "CascadeDiff";
+      Opts.Phyla = 6;
+      Opts.OperatorsPerPhylum = 3;
+      Opts.AttrPairs = 2;
+      Opts.ClassShape = S;
+      Opts.Seed = Seed;
+      DiagnosticEngine Diags;
+      olga::CompileResult C =
+          olga::compileMolga(workloads::generateMolgaSpec(Opts), Diags);
+      ASSERT_TRUE(C.Success) << Diags.dump();
+      std::string Tag = "shape=" + std::to_string(unsigned(S)) +
+                        " seed=" + std::to_string(Seed);
+      expectCascadeAgrees(C.Grammars[0].AG, GfaOptions{}, Tag.c_str());
+      expectCascadeAgrees(C.Grammars[0].AG, Par, Tag.c_str());
+    }
+  }
+}
+
+// The TSan target: many parallel fixpoint rounds over a grammar big enough
+// to keep all workers busy, repeated to shake out rare interleavings.
+TEST(CascadeStressTest, ParallelRoundsAreRaceFreeAndDeterministic) {
+  workloads::SpecGenOptions Opts;
+  Opts.Name = "CascadeStress";
+  Opts.Phyla = 10;
+  Opts.OperatorsPerPhylum = 4;
+  Opts.AttrPairs = 3;
+  Opts.Seed = 1234;
+  DiagnosticEngine Diags;
+  olga::CompileResult C =
+      olga::compileMolga(workloads::generateMolgaSpec(Opts), Diags);
+  ASSERT_TRUE(C.Success) << Diags.dump();
+  const AttributeGrammar &AG = C.Grammars[0].AG;
+
+  GfaOptions Par;
+  Par.Threads = 4;
+  Par.ParallelMinWork = 0;
+  ClassifyResult First = classifyGrammar(AG, /*OagK=*/1, Par);
+  for (int Round = 0; Round != 8; ++Round) {
+    ClassifyResult R = classifyGrammar(AG, /*OagK=*/1, Par);
+    ASSERT_EQ(R.className(), First.className()) << "round " << Round;
+    ASSERT_TRUE(R.Snc.IO == First.Snc.IO) << "round " << Round;
+    if (R.DncRan)
+      ASSERT_TRUE(R.Dnc.OI == First.Dnc.OI) << "round " << Round;
+    if (R.OagRan)
+      ASSERT_TRUE(R.Oag.IDS == First.Oag.IDS) << "round " << Round;
+  }
 }
 
 } // namespace

@@ -56,6 +56,129 @@ TEST(BitMatrixTest, TransitiveClosureCycle) {
   EXPECT_TRUE(M.hasReflexiveBit());
 }
 
+TEST(BitMatrixTest, ExtractBitsStraddlesWordBoundary) {
+  BitMatrix M(1, 130);
+  M.set(0, 62);
+  M.set(0, 63);
+  M.set(0, 64);
+  M.set(0, 129);
+  EXPECT_EQ(M.extractBits(0, 62, 3), uint64_t(0b111));
+  EXPECT_EQ(M.extractBits(0, 63, 2), uint64_t(0b11));
+  EXPECT_EQ(M.extractBits(0, 64, 1), uint64_t(1));
+  EXPECT_EQ(M.extractBits(0, 65, 64), uint64_t(0)) << "span [65,129) misses 129";
+  EXPECT_EQ(M.extractBits(0, 66, 64), uint64_t(1) << 63) << "129 at rel 63";
+  EXPECT_EQ(M.extractBits(0, 0, 64), uint64_t(3) << 62);
+  EXPECT_EQ(M.extractBits(0, 129, 1), uint64_t(1));
+}
+
+/// Reference implementation of orRowSpan: one bit at a time.
+static bool orRowSpanPerBit(BitMatrix &Dst, unsigned DstRow, unsigned DstCol,
+                            const BitMatrix &Src, unsigned SrcRow,
+                            unsigned SrcCol, unsigned Len, unsigned Skip) {
+  bool Changed = false;
+  for (unsigned I = 0; I != Len; ++I) {
+    if (I == Skip)
+      continue;
+    if (Src.test(SrcRow, SrcCol + I) && !Dst.test(DstRow, DstCol + I)) {
+      Dst.set(DstRow, DstCol + I);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+TEST(BitMatrixTest, OrRowSpanMatchesPerBitReference) {
+  // Exercise every interesting (mis)alignment, including spans that straddle
+  // one or two word boundaries, against the naive per-bit loop.
+  const unsigned Cols = 200;
+  uint64_t Rng = 12345;
+  auto nextBit = [&Rng] {
+    Rng = Rng * 6364136223846793005ull + 1442695040888963407ull;
+    return (Rng >> 33) & 1;
+  };
+  for (unsigned SrcCol : {0u, 1u, 63u, 64u, 65u, 127u}) {
+    for (unsigned DstCol : {0u, 1u, 63u, 64u, 65u}) {
+      for (unsigned Len : {1u, 2u, 63u, 64u, 65u, 70u}) {
+        BitMatrix Src(2, Cols), Fast(2, Cols), Slow(2, Cols);
+        for (unsigned C = 0; C != Cols; ++C) {
+          if (nextBit())
+            Src.set(1, C);
+          if (nextBit()) {
+            Fast.set(0, C);
+            Slow.set(0, C);
+          }
+        }
+        bool A = Fast.orRowSpan(0, DstCol, Src, 1, SrcCol, Len);
+        bool B = orRowSpanPerBit(Slow, 0, DstCol, Src, 1, SrcCol, Len,
+                                 BitMatrix::NoSkip);
+        EXPECT_EQ(A, B) << "changed flag, src=" << SrcCol << " dst=" << DstCol
+                        << " len=" << Len;
+        EXPECT_TRUE(Fast == Slow)
+            << "bits, src=" << SrcCol << " dst=" << DstCol << " len=" << Len;
+      }
+    }
+  }
+}
+
+TEST(BitMatrixTest, OrRowSpanSkipProtectsOneBit) {
+  BitMatrix Src(1, 128), Dst(1, 128);
+  for (unsigned C = 60; C != 70; ++C)
+    Src.set(0, C);
+  // Skip is relative to DstCol: dest column 65 + 2 = 67 stays clear.
+  EXPECT_TRUE(Dst.orRowSpan(0, 65, Src, 0, 60, 10, /*Skip=*/2));
+  for (unsigned I = 0; I != 10; ++I)
+    EXPECT_EQ(Dst.test(0, 65 + I), I != 2) << "relative bit " << I;
+  // A span whose only fresh bit is the skipped one reports no change.
+  BitMatrix One(1, 128), Tgt(1, 128);
+  One.set(0, 5);
+  EXPECT_FALSE(Tgt.orRowSpan(0, 0, One, 0, 0, 10, /*Skip=*/5));
+  EXPECT_FALSE(Tgt.test(0, 5));
+}
+
+TEST(BitMatrixTest, OrRowSpanCollectReportsNewColumns) {
+  BitMatrix Src(1, 140), Dst(1, 140);
+  Src.set(0, 0);
+  Src.set(0, 63);
+  Src.set(0, 64);
+  Src.set(0, 90);
+  Dst.set(0, 70 + 63); // already set: must not be reported again
+  std::vector<unsigned> NewCols;
+  // Copy the span [0,100) of Src to dest columns [70,170)... but keep the
+  // matrix 140 wide: use Len=70 so the span fits.
+  EXPECT_TRUE(Dst.orRowSpanCollect(0, 70, Src, 0, 0, 70, NewCols));
+  EXPECT_EQ(NewCols, (std::vector<unsigned>{70, 70 + 64}));
+  NewCols.clear();
+  EXPECT_FALSE(Dst.orRowSpanCollect(0, 70, Src, 0, 0, 70, NewCols))
+      << "idempotent";
+  EXPECT_TRUE(NewCols.empty());
+}
+
+TEST(BitMatrixTest, CloseWithEdgeMatchesFullWarshall) {
+  // Random closed DAG; adding any edge and re-closing incrementally must
+  // match orInPlace + full Warshall.
+  const unsigned N = 21; // not a multiple of 64: tail-word masking in play
+  uint64_t Rng = 99;
+  auto next = [&Rng] {
+    Rng = Rng * 6364136223846793005ull + 1442695040888963407ull;
+    return Rng >> 33;
+  };
+  BitMatrix Base(N, N);
+  for (unsigned I = 0; I != 60; ++I) {
+    unsigned R = next() % N, C = next() % N;
+    Base.set(R, C);
+  }
+  Base.transitiveClosure();
+  for (unsigned Trial = 0; Trial != 40; ++Trial) {
+    unsigned From = next() % N, To = next() % N;
+    BitMatrix Inc = Base;
+    Inc.closeWithEdge(From, To);
+    BitMatrix Ref = Base;
+    Ref.set(From, To);
+    Ref.transitiveClosure();
+    EXPECT_TRUE(Inc == Ref) << "edge " << From << "->" << To;
+  }
+}
+
 TEST(DigraphTest, TopologicalOrderRespectsEdges) {
   Digraph G(4);
   G.addEdge(2, 0);
