@@ -1,0 +1,165 @@
+//===- bench/cache_warmup.cpp - artifact cache warm-start speedup ---------===//
+//
+// The measurement behind the artifact cache: across the SpecGen scaling
+// sweep, compare the full generator cascade (SNC + DNC + OAG + transform +
+// visit sequences + storage) against
+//
+//   cold   cascade + artifact store (the first run in an empty cache dir)
+//   warm   artifact load only (every later process start)
+//
+// Emits cache_warmup.json with one ms_per_round row per (spec, engine) for
+// bench_check.py trend tracking (baseline: BENCH_cache.json) and prints the
+// speedup table the README quotes. Exits 1 when a spec fails to compile,
+// when a warm run misses the cache, or when the warm path fails the ≥5x
+// speedup floor at the largest sweep point.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "fnc2/ArtifactCache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <vector>
+
+using namespace fnc2;
+using namespace fnc2::bench;
+
+namespace {
+
+constexpr unsigned Rounds = 5;
+constexpr double RequiredWarmSpeedup = 5.0;
+
+struct SweepPoint {
+  const char *Name;
+  unsigned Phyla, Ops, AttrPairs;
+};
+
+// Same sweep as generator_scaling so the two benches describe one system.
+const SweepPoint Sweep[] = {
+    {"S1-small", 8, 3, 2},
+    {"S2-medium", 16, 4, 3},
+    {"S3-large", 28, 6, 4},
+    {"S4-xlarge", 48, 8, 7},
+};
+
+struct Entry {
+  std::string Spec;
+  std::string Engine;
+  double MsPerRound = 0;
+};
+
+double msPerRound(unsigned N, const std::function<void()> &Fn) {
+  Fn(); // warm-up round (page cache, allocator)
+  Timer T;
+  for (unsigned I = 0; I != N; ++I)
+    Fn();
+  return T.seconds() * 1e3 / N;
+}
+
+} // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  const std::string CacheDir = ".fnc2-cache/warmup-bench";
+  fs::remove_all(CacheDir);
+
+  std::vector<Entry> Entries;
+  TablePrinter T({"spec", "phyla", "prods", "nocache ms", "cold ms",
+                  "warm ms", "warm speedup"});
+  bool Ok = true;
+  double LargestSpeedup = 0;
+
+  for (const SweepPoint &P : Sweep) {
+    workloads::SpecGenOptions SOpts;
+    SOpts.Name = "Scale" + std::to_string(P.Phyla);
+    SOpts.Phyla = P.Phyla;
+    SOpts.OperatorsPerPhylum = P.Ops;
+    SOpts.AttrPairs = P.AttrPairs;
+    SOpts.Seed = 7;
+    DiagnosticEngine Diags;
+    olga::CompileResult C =
+        olga::compileMolga(workloads::generateMolgaSpec(SOpts), Diags);
+    if (!C.Success) {
+      std::fprintf(stderr, "%s: compile failed:\n%s\n", P.Name,
+                   Diags.dump().c_str());
+      return 1;
+    }
+    const AttributeGrammar &AG = C.Grammars[0].AG;
+
+    GeneratorOptions NoCache;
+    NoCache.OagK = 1;
+    GeneratorOptions Cached = NoCache;
+    Cached.CacheDir = CacheDir;
+    const std::string ArtifactPath =
+        ArtifactCache(CacheDir).pathFor(ArtifactCache::artifactKey(AG, Cached));
+
+    // Full cascade, no cache in play.
+    double NoCacheMs = msPerRound(Rounds, [&] {
+      DiagnosticEngine D;
+      if (!generateEvaluator(AG, D, NoCache).Success)
+        std::abort();
+    });
+
+    // Cold: empty dir each round — cascade + encode + atomic store.
+    double ColdMs = msPerRound(Rounds, [&] {
+      fs::remove(ArtifactPath);
+      DiagnosticEngine D;
+      GeneratedEvaluator G = generateEvaluator(AG, D, Cached);
+      if (!G.Success || G.FromCache)
+        std::abort();
+    });
+
+    // Warm: the artifact exists; every run must be a pure load.
+    unsigned WarmRounds = Rounds * 4;
+    double WarmMs = msPerRound(WarmRounds, [&] {
+      DiagnosticEngine D;
+      GeneratedEvaluator G = generateEvaluator(AG, D, Cached);
+      if (!G.Success)
+        std::abort();
+      if (!G.FromCache) {
+        std::fprintf(stderr, "warm run missed the cache\n");
+        std::exit(1);
+      }
+    });
+
+    double Speedup = WarmMs > 0 ? NoCacheMs / WarmMs : 0;
+    LargestSpeedup = Speedup; // last point is the largest
+    T.addRow({P.Name, std::to_string(P.Phyla), std::to_string(AG.numProds()),
+              TablePrinter::num(NoCacheMs, 3), TablePrinter::num(ColdMs, 3),
+              TablePrinter::num(WarmMs, 3),
+              TablePrinter::num(Speedup, 1) + "x"});
+    Entries.push_back({P.Name, "nocache", NoCacheMs});
+    Entries.push_back({P.Name, "cold", ColdMs});
+    Entries.push_back({P.Name, "warm", WarmMs});
+  }
+
+  std::printf("== artifact cache warm start (full generator vs cached load, "
+              "%u rounds per point) ==\n%s\n",
+              Rounds, T.str().c_str());
+
+  if (LargestSpeedup < RequiredWarmSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: warm load speedup %.1fx at %s is below the "
+                 "required %.0fx floor\n",
+                 LargestSpeedup, Sweep[std::size(Sweep) - 1].Name,
+                 RequiredWarmSpeedup);
+    Ok = false;
+  }
+
+  std::ofstream Out("cache_warmup.json");
+  Out << "{\n  \"rounds\": " << Rounds << ",\n  \"entries\": [\n";
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    const Entry &E = Entries[I];
+    Out << "    {\"spec\": \"" << E.Spec << "\", \"engine\": \"" << E.Engine
+        << "\", \"ms_per_round\": " << E.MsPerRound << "}"
+        << (I + 1 == Entries.size() ? "\n" : ",\n");
+  }
+  Out << "  ]\n}\n";
+  std::printf("wrote cache_warmup.json\n");
+
+  fs::remove_all(CacheDir);
+  return Ok ? 0 : 1;
+}

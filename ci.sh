@@ -3,20 +3,29 @@
 # gate, one command.
 #
 #   1. Release-ish build of everything + the full test suite (including the
-#      incremental edit-oracle and the golden-trace suites).
+#      incremental edit-oracle, golden-trace and artifact-cache suites).
 #   2. Perf baselines: the observability-overhead bench (evaluator family
-#      timings, tracing off vs on), the batch-throughput bench and the
-#      generator-scaling bench (cascade: naive vs worklist fixpoint); their
-#      JSON outputs are copied to BENCH_evaluators.json, BENCH_batch.json
-#      and BENCH_generator.json at the repo root on every run.
+#      timings, tracing off vs on), the batch-throughput bench, the
+#      generator-scaling bench (cascade: naive vs worklist fixpoint) and the
+#      cache-warmup bench (cold cascade+store vs warm artifact load; the
+#      bench itself exits nonzero if any warm run misses the cache or if the
+#      warm speedup falls below the 5x floor at the largest sweep point);
+#      their JSON outputs are copied to BENCH_evaluators.json,
+#      BENCH_batch.json, BENCH_generator.json and BENCH_cache.json at the
+#      repo root on every run.
 #   3. bench_check: the fresh bench JSONs are diffed against the committed
 #      baselines; any shared data point more than 25% worse fails the run
 #      (bench/bench_check.py — tolerant to added/removed points).
-#   4. ThreadSanitizer build (-DFNC2_SANITIZE=thread) + the concurrency,
-#      differential, interning, trace, oracle and parallel-cascade tests,
-#      which exercise the shared-plan read path, the string-interning pool,
-#      the per-thread trace buffers and the fixpoint engine's parallel
-#      rounds from many threads.
+#   4. AddressSanitizer+UBSan build (-DFNC2_SANITIZE=address,undefined) of
+#      the serialization and artifact-cache suites: every corruption-
+#      injection case (byte flips, truncations, version bumps, stale keys)
+#      must be rejected without touching invalid memory.
+#   5. ThreadSanitizer build (-DFNC2_SANITIZE=thread) + the concurrency,
+#      differential, interning, trace, oracle, parallel-cascade and
+#      artifact-cache race tests, which exercise the shared-plan read path,
+#      the string-interning pool, the per-thread trace buffers, the fixpoint
+#      engine's parallel rounds and racing cache store/load from many
+#      threads.
 #
 # Usage: ./ci.sh [jobs]
 set -eu
@@ -24,19 +33,24 @@ set -eu
 JOBS="${1:-$(nproc 2>/dev/null || echo 2)}"
 SRC="$(cd "$(dirname "$0")" && pwd)"
 
-echo "== [1/4] RelWithDebInfo build + full ctest =="
+echo "== [1/5] RelWithDebInfo build + full ctest =="
 cmake -B "$SRC/build" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$SRC/build" -j "$JOBS"
 ctest --test-dir "$SRC/build" --output-on-failure -j "$JOBS"
 
-echo "== [2/4] perf baselines (observability + batch + generator scaling) =="
+echo "== [2/5] perf baselines (observability + batch + generator + cache) =="
 cmake --build "$SRC/build" -j "$JOBS" \
-      --target observability_overhead batch_throughput generator_scaling
+      --target observability_overhead batch_throughput generator_scaling \
+               cache_warmup
 (cd "$SRC/build/bench" && ./observability_overhead)
 (cd "$SRC/build/bench" && ./batch_throughput --benchmark_min_time=0.05s)
 (cd "$SRC/build/bench" && ./generator_scaling)
+# cache_warmup doubles as the cold-then-warm generator gate: it asserts
+# every warm-phase generateEvaluator call reports FromCache (a cache.hit)
+# and enforces the >=5x warm speedup floor, exiting 1 otherwise.
+(cd "$SRC/build/bench" && ./cache_warmup)
 
-echo "== [3/4] bench_check against committed baselines =="
+echo "== [3/5] bench_check against committed baselines =="
 if [ -f "$SRC/BENCH_evaluators.json" ]; then
   python3 "$SRC/bench/bench_check.py" "$SRC/BENCH_evaluators.json" \
           "$SRC/build/bench/evaluator_baselines.json"
@@ -49,18 +63,33 @@ if [ -f "$SRC/BENCH_generator.json" ]; then
   python3 "$SRC/bench/bench_check.py" "$SRC/BENCH_generator.json" \
           "$SRC/build/bench/generator_scaling.json"
 fi
+if [ -f "$SRC/BENCH_cache.json" ]; then
+  python3 "$SRC/bench/bench_check.py" "$SRC/BENCH_cache.json" \
+          "$SRC/build/bench/cache_warmup.json"
+fi
 cp "$SRC/build/bench/evaluator_baselines.json" "$SRC/BENCH_evaluators.json"
 cp "$SRC/build/bench/batch_throughput.json" "$SRC/BENCH_batch.json"
 cp "$SRC/build/bench/generator_scaling.json" "$SRC/BENCH_generator.json"
-echo "wrote BENCH_evaluators.json, BENCH_batch.json, BENCH_generator.json"
+cp "$SRC/build/bench/cache_warmup.json" "$SRC/BENCH_cache.json"
+echo "wrote BENCH_evaluators.json, BENCH_batch.json, BENCH_generator.json," \
+     "BENCH_cache.json"
 
-echo "== [4/4] ThreadSanitizer build + race gate =="
+echo "== [4/5] ASan+UBSan build + serialization/corruption gate =="
+cmake -B "$SRC/build-asan" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFNC2_SANITIZE=address,undefined
+cmake --build "$SRC/build-asan" -j "$JOBS" \
+      --target serialize_test artifact_cache_test
+ctest --test-dir "$SRC/build-asan" --output-on-failure -j "$JOBS" \
+      -R 'Serialize|ArtifactFile|Artifact'
+
+echo "== [5/5] ThreadSanitizer build + race gate =="
 cmake -B "$SRC/build-tsan" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DFNC2_SANITIZE=thread
 cmake --build "$SRC/build-tsan" -j "$JOBS" \
       --target concurrency_test differential_test value_intern_test \
-               trace_test incremental_oracle_test analysis_test
+               trace_test incremental_oracle_test analysis_test \
+               artifact_cache_test
 ctest --test-dir "$SRC/build-tsan" --output-on-failure -j "$JOBS" \
-      -R 'ThreadPool|Concurrency|Differential|ValueIntern|Trace|Oracle|Cascade'
+      -R 'ThreadPool|Concurrency|Differential|ValueIntern|Trace|Oracle|Cascade|Artifact'
 
 echo "ci.sh: all green"

@@ -60,10 +60,19 @@ end
 int main(int argc, char **argv) {
   std::string Source = Demo;
   std::string Path;
+  std::string CacheDir;
   bool CToStdout = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "-c") == 0) {
       CToStdout = true;
+      continue;
+    }
+    if (std::strcmp(argv[I], "--cache-dir") == 0) {
+      if (I + 1 == argc) {
+        std::fprintf(stderr, "--cache-dir requires a directory argument\n");
+        return 1;
+      }
+      CacheDir = argv[++I];
       continue;
     }
     Path = argv[I];
@@ -105,7 +114,9 @@ int main(int argc, char **argv) {
   // Generator + translator per grammar.
   for (const olga::LoweredGrammar &LG : R.Grammars) {
     DiagnosticEngine GD;
-    GeneratedEvaluator GE = generateEvaluator(LG.AG, GD);
+    GeneratorOptions GOpts;
+    GOpts.CacheDir = CacheDir;
+    GeneratedEvaluator GE = generateEvaluator(LG.AG, GD, GOpts);
     if (!GE.Success) {
       std::fprintf(stderr, "%s", GD.dump().c_str());
       if (!GE.Trace.empty())
@@ -119,6 +130,8 @@ int main(int argc, char **argv) {
                 LG.AG.Name.c_str(), Row.Phyla, Row.Operators, Row.SemRules,
                 Row.ClassName.c_str(), GE.Plan.numSequences(), Row.PctVars,
                 Row.PctStacks, Row.PctNonTemp, Row.TimeSec * 1e3);
+    if (GE.FromCache)
+      std::printf("  (loaded from artifact cache)\n");
 
     CEmitStats CS;
     DiagnosticEngine ED;

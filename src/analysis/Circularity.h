@@ -35,6 +35,7 @@ struct CycleWitness {
   std::vector<OccId> Cycle;
 
   bool empty() const { return Cycle.empty(); }
+  bool operator==(const CycleWitness &) const = default;
 };
 
 /// Result of the SNC test.
@@ -46,6 +47,8 @@ struct SncResult {
   CycleWitness Witness;
   /// Number of fixpoint sweeps over all productions.
   unsigned Iterations = 0;
+
+  bool operator==(const SncResult &) const = default;
 };
 
 /// Runs the SNC test. Requires AG.buildProductionInfo() to have run.
@@ -60,6 +63,8 @@ struct DncResult {
   PhylumRelation OI;
   CycleWitness Witness;
   unsigned Iterations = 0;
+
+  bool operator==(const DncResult &) const = default;
 };
 
 /// Runs the DNC test on top of an SNC result (the cascade never runs DNC

@@ -37,6 +37,8 @@ struct ClassifyResult {
   bool DncRan = false;
   bool OagRan = false;
 
+  bool operator==(const ClassifyResult &) const = default;
+
   /// "OAG(0)", "OAG(1)", "DNC", "SNC" or "not SNC" — the Table 1 notation.
   std::string className() const;
 };

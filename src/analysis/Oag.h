@@ -42,6 +42,8 @@ struct OagResult {
   /// or the phylum whose dependencies could not be peeled.
   CycleWitness Witness;
   unsigned Iterations = 0;
+
+  bool operator==(const OagResult &) const = default;
 };
 
 /// Runs the OAG(k) test with repair budget \p K (default: the paper's

@@ -33,6 +33,12 @@
 
 namespace fnc2 {
 
+/// Serializer/deserializer of compiled plans (fnc2/ArtifactCache.cpp); the
+/// only code allowed to materialize a CompiledPlan from anything but a
+/// live EvaluationPlan.
+struct ArtifactCodec;
+struct CompiledArtifact;
+
 /// Where a compiled rule argument is read from (or a target written to): a
 /// frame slot of the node itself, a frame slot of one of its children, or
 /// the node's lexeme.
@@ -41,6 +47,8 @@ struct SlotRef {
   K Kind = K::Self;
   uint8_t Child = 0; ///< 0-based son index, valid for K::Child.
   uint16_t Slot = 0; ///< Frame slot (attribute slots first, locals after).
+
+  bool operator==(const SlotRef &) const = default;
 };
 
 /// One semantic rule with pre-resolved argument and target slots.
@@ -51,6 +59,11 @@ struct CompiledRule {
   bool IsCopy = false;
   SlotRef Target; ///< Never K::Lexeme.
   RuleId Orig = InvalidId;
+
+  /// Fn compares by address: two compilations (or one compilation and one
+  /// cache reload) against the same live grammar resolve a rule to the same
+  /// SemanticFn object.
+  bool operator==(const CompiledRule &) const = default;
 };
 
 /// One flat instruction. BEGIN is compiled away: each visit's body starts at
@@ -62,12 +75,16 @@ struct CompiledInstr {
   uint16_t VisitNo = 0; ///< Visit: the son's visit number; Leave: own.
   uint32_t A = 0;       ///< Eval: first index into Rules; Visit: son partition.
   uint32_t B = 0;       ///< Eval: number of rules.
+
+  bool operator==(const CompiledInstr &) const = default;
 };
 
 /// Frame geometry of nodes applying one production.
 struct FrameShape {
   uint16_t NumAttrs = 0;
   uint16_t NumLocals = 0;
+
+  bool operator==(const FrameShape &) const = default;
 };
 
 /// The compiled form of one (production, LHS partition) visit sequence.
@@ -78,12 +95,16 @@ struct CompiledSeq {
   uint32_t FirstInstr = 0; ///< Into CompiledPlan::Instrs.
   uint32_t FirstBegin = 0; ///< Into CompiledPlan::BeginOfs, NumVisits entries.
   FrameShape Frame;        ///< == Frames[Prod], duplicated for locality.
+
+  bool operator==(const CompiledSeq &) const = default;
 };
 
 /// An attribute paired with its frame slot (phylum-indexed helper lists).
 struct SlotAttr {
   AttrId Attr = InvalidId;
   uint16_t Slot = 0;
+
+  bool operator==(const SlotAttr &) const = default;
 };
 
 /// Immutable compiled image of an EvaluationPlan. Construction resolves
@@ -147,7 +168,14 @@ public:
   std::vector<std::vector<SlotAttr>> SynByPhylum;
 
 private:
-  const EvaluationPlan *Src;
+  /// The artifact codec rebuilds the pools from a deserialized image and
+  /// rebinds Src to the reloaded plan; nothing else may bypass the
+  /// compiling constructor.
+  friend struct ArtifactCodec;
+  friend struct CompiledArtifact;
+  CompiledPlan() = default;
+
+  const EvaluationPlan *Src = nullptr;
 };
 
 /// True when FNC2_INTERP_FALLBACK is set (non-empty, not "0") in the

@@ -2,15 +2,16 @@
 
 #include "fnc2/Generator.h"
 
+#include "fnc2/ArtifactCache.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
 using namespace fnc2;
 
-GeneratedEvaluator fnc2::generateEvaluator(const AttributeGrammar &AG,
-                                           DiagnosticEngine &Diags,
-                                           GeneratorOptions Opts) {
-  FNC2_SPAN("generate");
+/// The cascade proper (figure 3), cache-oblivious.
+static GeneratedEvaluator runCascade(const AttributeGrammar &AG,
+                                     DiagnosticEngine &Diags,
+                                     const GeneratorOptions &Opts) {
   GeneratedEvaluator G;
   Timer Phase;
 
@@ -90,6 +91,45 @@ GeneratedEvaluator fnc2::generateEvaluator(const AttributeGrammar &AG,
   }
 
   G.Success = true;
+  return G;
+}
+
+GeneratedEvaluator fnc2::generateEvaluator(const AttributeGrammar &AG,
+                                           DiagnosticEngine &Diags,
+                                           GeneratorOptions Opts) {
+  FNC2_SPAN("generate");
+  if (Opts.CacheDir.empty())
+    return runCascade(AG, Diags, Opts);
+
+  ArtifactCache Cache(Opts.CacheDir);
+  {
+    FNC2_SPAN("cache.load");
+    GeneratedEvaluator Cached;
+    std::string Reason;
+    switch (Cache.load(AG, Opts, Cached, Reason)) {
+    case CacheLookup::Hit:
+      FNC2_COUNT("generator.cache.hit", 1);
+      return Cached;
+    case CacheLookup::Reject:
+      // A bad file falls through to regeneration, which overwrites it.
+      FNC2_COUNT("generator.cache.reject", 1);
+      Diags.note("rejecting cached artifact for '" + AG.Name +
+                 "': " + Reason);
+      break;
+    case CacheLookup::Miss:
+      FNC2_COUNT("generator.cache.miss", 1);
+      break;
+    }
+  }
+
+  GeneratedEvaluator G = runCascade(AG, Diags, Opts);
+  if (G.Success) {
+    FNC2_SPAN("cache.store");
+    if (Cache.store(AG, Opts, G))
+      FNC2_COUNT("generator.cache.store", 1);
+    else
+      FNC2_COUNT("generator.cache.store_failure", 1);
+  }
   return G;
 }
 

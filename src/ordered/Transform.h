@@ -45,6 +45,8 @@ struct TransformInstance {
   unsigned LhsPart = 0;
   std::vector<unsigned> ChildPart;
   std::vector<OccId> Linear;
+
+  bool operator==(const TransformInstance &) const = default;
 };
 
 /// Output of the transformation (also produced, trivially, from an OAG
@@ -67,6 +69,8 @@ struct TransformResult {
   unsigned MaxPartitionsPerPhylum = 0;
   unsigned NumInstances = 0;
   unsigned Iterations = 0;
+
+  bool operator==(const TransformResult &) const = default;
 
   /// Looks up the instance of \p P with LHS partition \p LhsPart; returns
   /// nullptr when the pair was never explored.

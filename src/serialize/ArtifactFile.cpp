@@ -1,0 +1,111 @@
+//===- serialize/ArtifactFile.cpp -----------------------------------------===//
+
+#include "serialize/ArtifactFile.h"
+
+using namespace fnc2;
+using namespace fnc2::serialize;
+
+namespace {
+
+constexpr size_t kHeaderSize = 8 + 4 + 8 + 4 + 4;
+constexpr size_t kEntrySize = 4 + 8 + 8 + 4;
+
+} // namespace
+
+std::vector<uint8_t> ArtifactWriter::finish() const {
+  // Table first (its CRC goes into the header).
+  ByteWriter Table;
+  uint64_t Offset = kHeaderSize + Sections.size() * kEntrySize;
+  for (const auto &[Id, Body] : Sections) {
+    Table.u32(Id);
+    Table.u64(Offset);
+    Table.u64(Body.size());
+    Table.u32(crc32(Body.bytes()));
+    Offset += Body.size();
+  }
+
+  ByteWriter Out;
+  Out.raw(kMagic, sizeof(kMagic));
+  Out.u32(Version);
+  Out.u64(Key);
+  Out.u32(static_cast<uint32_t>(Sections.size()));
+  Out.u32(crc32(Table.bytes()));
+  Out.raw(Table.bytes().data(), Table.size());
+  for (const auto &[Id, Body] : Sections)
+    Out.raw(Body.bytes().data(), Body.size());
+  return Out.take();
+}
+
+bool ArtifactReader::open(std::span<const uint8_t> Bytes, uint64_t ExpectKey,
+                          std::string &Reason, uint32_t ExpectVersion) {
+  File = Bytes;
+  Table.clear();
+
+  ByteReader R(Bytes);
+  if (Bytes.size() < kHeaderSize) {
+    Reason = "file shorter than header";
+    return false;
+  }
+  char Magic[8];
+  for (char &C : Magic)
+    C = static_cast<char>(R.u8());
+  if (std::memcmp(Magic, kMagic, sizeof(kMagic)) != 0) {
+    Reason = "bad magic";
+    return false;
+  }
+  uint32_t Version = R.u32();
+  if (Version != ExpectVersion) {
+    Reason = "format version " + std::to_string(Version) + " != expected " +
+             std::to_string(ExpectVersion);
+    return false;
+  }
+  Key = R.u64();
+  if (Key != ExpectKey) {
+    Reason = "content key mismatch (stale or foreign artifact)";
+    return false;
+  }
+  uint32_t NumSections = R.u32();
+  uint32_t TableCrc = R.u32();
+  if (NumSections > (Bytes.size() - kHeaderSize) / kEntrySize) {
+    Reason = "section table exceeds file size";
+    return false;
+  }
+  std::span<const uint8_t> TableBytes =
+      Bytes.subspan(kHeaderSize, size_t(NumSections) * kEntrySize);
+  if (crc32(TableBytes) != TableCrc) {
+    Reason = "section table checksum mismatch";
+    return false;
+  }
+
+  // Contiguity: payloads tile the file exactly from the end of the table to
+  // end-of-file, so any truncation or size/offset flip breaks the equation.
+  uint64_t Cursor = kHeaderSize + size_t(NumSections) * kEntrySize;
+  ByteReader T(TableBytes);
+  for (uint32_t I = 0; I != NumSections; ++I) {
+    Entry E;
+    E.Id = T.u32();
+    E.Offset = T.u64();
+    E.Size = T.u64();
+    uint32_t Crc = T.u32();
+    if (E.Offset != Cursor || E.Size > Bytes.size() - E.Offset) {
+      Reason = "section " + std::to_string(E.Id) + " not contiguous";
+      return false;
+    }
+    for (const Entry &Prev : Table)
+      if (Prev.Id == E.Id) {
+        Reason = "duplicate section id " + std::to_string(E.Id);
+        return false;
+      }
+    if (crc32(Bytes.subspan(E.Offset, E.Size)) != Crc) {
+      Reason = "section " + std::to_string(E.Id) + " checksum mismatch";
+      return false;
+    }
+    Cursor = E.Offset + E.Size;
+    Table.push_back(E);
+  }
+  if (Cursor != Bytes.size()) {
+    Reason = "trailing bytes after last section";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,112 @@
+//===- serialize/ArtifactFile.h - Versioned sectioned container -*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk container of cached generator artifacts: a fixed header
+/// (magic, format version, content key), a section table, and contiguous
+/// per-section payloads each stamped with a CRC-32.
+///
+///   offset 0   8 bytes   magic "FNC2ART\n"
+///          8   u32       format version (kFormatVersion)
+///         12   u64       content key (hash of grammar + options)
+///         20   u32       section count N
+///         24   u32       CRC-32 of the section table bytes
+///         28   N x 24    table: { u32 id, u64 offset, u64 size, u32 crc }
+///        ...             payloads, contiguous in table order
+///
+/// Every byte of a file is covered by some check: the header fields are
+/// validated against expected values, the table by its CRC and by the
+/// contiguity equation (each payload starts where the previous one ended
+/// and the last one ends exactly at end-of-file), and the payloads by their
+/// per-section CRCs. ArtifactReader::open therefore rejects — with a
+/// reason, never a crash — any truncation, any single-byte flip, any
+/// version bump and any wrong-key file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_SERIALIZE_ARTIFACTFILE_H
+#define FNC2_SERIALIZE_ARTIFACTFILE_H
+
+#include "serialize/Serialize.h"
+
+namespace fnc2::serialize {
+
+/// Bumped on every change to the artifact byte layout (container or section
+/// encodings). A version mismatch is a clean cache miss, never an attempt
+/// to decode; the golden-artifact test fails loudly when the layout changes
+/// without a bump.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// The 8-byte magic at offset 0.
+inline constexpr char kMagic[8] = {'F', 'N', 'C', '2', 'A', 'R', 'T', '\n'};
+
+/// Builds an artifact file in memory: fill sections in order, then finish().
+class ArtifactWriter {
+public:
+  explicit ArtifactWriter(uint64_t Key, uint32_t Version = kFormatVersion)
+      : Key(Key), Version(Version) {}
+
+  /// Opens a new section; returns the writer for its payload. Ids must be
+  /// unique; sections are laid out in creation order.
+  ByteWriter &section(uint32_t Id) {
+    Sections.emplace_back(Id, ByteWriter());
+    return Sections.back().second;
+  }
+
+  /// Assembles header + table + payloads. Deterministic for deterministic
+  /// payloads (the golden test relies on byte-stable output).
+  std::vector<uint8_t> finish() const;
+
+private:
+  uint64_t Key;
+  uint32_t Version;
+  std::vector<std::pair<uint32_t, ByteWriter>> Sections;
+};
+
+/// Read-side view of an artifact file. open() performs the full container
+/// validation up front (header, table, contiguity, every section CRC);
+/// section() then hands out bounds-checked readers over verified payloads.
+class ArtifactReader {
+public:
+  /// Validates \p File against the expected version and content key.
+  /// Returns false with a human-readable \p Reason on any mismatch or
+  /// corruption; the reader is unusable in that case.
+  bool open(std::span<const uint8_t> File, uint64_t ExpectKey,
+            std::string &Reason, uint32_t ExpectVersion = kFormatVersion);
+
+  bool hasSection(uint32_t Id) const {
+    for (const Entry &E : Table)
+      if (E.Id == Id)
+        return true;
+    return false;
+  }
+
+  /// Reader over the payload of section \p Id; a reader over the empty span
+  /// (whose first read fails cleanly) when the section is absent.
+  ByteReader section(uint32_t Id) const {
+    for (const Entry &E : Table)
+      if (E.Id == Id)
+        return ByteReader(File.subspan(E.Offset, E.Size));
+    return ByteReader({});
+  }
+
+  uint64_t key() const { return Key; }
+
+private:
+  struct Entry {
+    uint32_t Id = 0;
+    size_t Offset = 0;
+    size_t Size = 0;
+  };
+
+  std::span<const uint8_t> File;
+  std::vector<Entry> Table;
+  uint64_t Key = 0;
+};
+
+} // namespace fnc2::serialize
+
+#endif // FNC2_SERIALIZE_ARTIFACTFILE_H

@@ -1,0 +1,39 @@
+//===- serialize/Serialize.cpp --------------------------------------------===//
+
+#include "serialize/Serialize.h"
+
+#include <array>
+
+using namespace fnc2;
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> T{};
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    T[I] = C;
+  }
+  return T;
+}
+
+} // namespace
+
+uint32_t serialize::crc32(std::span<const uint8_t> Data, uint32_t Seed) {
+  static const std::array<uint32_t, 256> Table = makeCrcTable();
+  uint32_t C = Seed ^ 0xFFFFFFFFu;
+  for (uint8_t B : Data)
+    C = Table[(C ^ B) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+uint64_t serialize::fnv1a64(std::span<const uint8_t> Data, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (uint8_t B : Data) {
+    H ^= B;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}

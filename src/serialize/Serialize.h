@@ -1,0 +1,171 @@
+//===- serialize/Serialize.h - Bounds-checked binary encoding --*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level substrate of the persistent artifact cache (the mkfnc2
+/// analogue of paper section 3.1: the generator cascade only re-runs when
+/// its inputs changed). Two halves:
+///
+///  * ByteWriter / ByteReader — little-endian primitive encoding. The
+///    reader is *total*: every read is bounds-checked, a failed read poisons
+///    the reader (ok() turns false, subsequent reads return zero values) and
+///    records a reason. Decoders written against it can never crash or read
+///    out of bounds on corrupted input, only reject it.
+///  * crc32 / fnv1a64 — the integrity check stamped per section of an
+///    artifact file, and the stable content hash keying artifacts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_SERIALIZE_SERIALIZE_H
+#define FNC2_SERIALIZE_SERIALIZE_H
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fnc2::serialize {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). crc32 of "123456789" is
+/// 0xCBF43926. Detects every single-bit and single-byte corruption of a
+/// section payload, which is what the corruption-injection suite pins.
+uint32_t crc32(std::span<const uint8_t> Data, uint32_t Seed = 0);
+
+/// FNV-1a 64-bit over a byte string: the stable content hash used as the
+/// artifact cache key (hash of the canonical grammar + options encoding).
+uint64_t fnv1a64(std::span<const uint8_t> Data,
+                 uint64_t Seed = 0xcbf29ce484222325ull);
+
+/// Append-only little-endian encoder. All multi-byte values are written
+/// LSB-first regardless of host order, so artifact bytes are identical
+/// across builds — the golden-artifact test commits them.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u16(uint16_t V) { le(V, 2); }
+  void u32(uint32_t V) { le(V, 4); }
+  void u64(uint64_t V) { le(V, 8); }
+  void boolean(bool V) { u8(V ? 1 : 0); }
+  /// Doubles travel as their IEEE-754 bit pattern.
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, 8);
+    u64(Bits);
+  }
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view S) {
+    u32(static_cast<uint32_t>(S.size()));
+    raw(S.data(), S.size());
+  }
+  void raw(const void *Data, size_t Len) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    Buf.insert(Buf.end(), P, P + Len);
+  }
+
+  size_t size() const { return Buf.size(); }
+  std::span<const uint8_t> bytes() const { return Buf; }
+  std::vector<uint8_t> take() { return std::move(Buf); }
+
+private:
+  void le(uint64_t V, unsigned Bytes) {
+    for (unsigned I = 0; I != Bytes; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte span. The
+/// first failed read latches ok() to false with a reason; every later read
+/// returns a zero value without touching memory, so a decoder can run to
+/// completion on arbitrary garbage and check ok() once at the end (it must
+/// still validate semantic invariants — ids in range, sizes consistent —
+/// before using the result).
+class ByteReader {
+public:
+  explicit ByteReader(std::span<const uint8_t> Data) : Data(Data) {}
+
+  bool ok() const { return !Failed; }
+  const std::string &error() const { return Err; }
+  size_t remaining() const { return Failed ? 0 : Data.size() - Pos; }
+
+  /// Latches the failure state (also used by decoders to report semantic
+  /// validation failures through the same channel).
+  void fail(std::string Why) {
+    if (!Failed) {
+      Failed = true;
+      Err = std::move(Why);
+    }
+  }
+
+  uint8_t u8() { return static_cast<uint8_t>(le(1)); }
+  uint16_t u16() { return static_cast<uint16_t>(le(2)); }
+  uint32_t u32() { return static_cast<uint32_t>(le(4)); }
+  uint64_t u64() { return le(8); }
+  bool boolean() {
+    uint8_t V = u8();
+    if (V > 1)
+      fail("boolean byte out of range");
+    return V == 1;
+  }
+  double f64() {
+    uint64_t Bits = le(8);
+    double V;
+    std::memcpy(&V, &Bits, 8);
+    return V;
+  }
+  std::string str() {
+    uint32_t Len = u32();
+    if (Len > remaining()) {
+      fail("string length exceeds remaining bytes");
+      return {};
+    }
+    std::string S(reinterpret_cast<const char *>(Data.data() + Pos), Len);
+    Pos += Len;
+    return S;
+  }
+
+  /// Reads a u32 element count for a sequence whose elements occupy at
+  /// least \p MinElemBytes each; fails (and returns 0) when the count could
+  /// not possibly fit in the remaining bytes. This is the guard that stops
+  /// a corrupted length from driving a multi-gigabyte allocation.
+  uint32_t count(size_t MinElemBytes = 1) {
+    uint32_t N = u32();
+    if (Failed)
+      return 0;
+    if (MinElemBytes != 0 && N > remaining() / MinElemBytes) {
+      fail("sequence count exceeds remaining bytes");
+      return 0;
+    }
+    return N;
+  }
+
+private:
+  uint64_t le(unsigned Bytes) {
+    if (Failed)
+      return 0;
+    if (Data.size() - Pos < Bytes) {
+      fail("read past end of buffer");
+      return 0;
+    }
+    uint64_t V = 0;
+    for (unsigned I = 0; I != Bytes; ++I)
+      V |= static_cast<uint64_t>(Data[Pos + I]) << (8 * I);
+    Pos += Bytes;
+    return V;
+  }
+
+  std::span<const uint8_t> Data;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Err;
+};
+
+} // namespace fnc2::serialize
+
+#endif // FNC2_SERIALIZE_SERIALIZE_H

@@ -54,6 +54,8 @@ public:
   /// Human-readable name of a storage id.
   std::string name(const AttributeGrammar &AG, unsigned Id) const;
 
+  bool operator==(const StorageIdMap &) const = default;
+
 private:
   unsigned NumIds = 0;
   unsigned FirstLocal = 0;
@@ -68,6 +70,8 @@ struct LifetimeInterval {
   unsigned EndPos = 0;   ///< Instruction index of the last use.
   RuleId DefRule = InvalidId; ///< Defining rule (InvalidId for syn returns).
   bool CrossesVisit = false;  ///< Lifetime spans a LEAVE: non-temporary.
+
+  bool operator==(const LifetimeInterval &) const = default;
 };
 
 /// The complete storage decision for a grammar + plan.
@@ -92,6 +96,8 @@ struct StorageAssignment {
   unsigned TotalCopyRules = 0;
   unsigned EliminatedCopyRules = 0;
   unsigned EliminableCopyRules = 0; ///< Theoretical upper bound.
+
+  bool operator==(const StorageAssignment &) const = default;
 
   double pctVariables() const;
   double pctStacks() const;

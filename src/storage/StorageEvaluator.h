@@ -79,6 +79,8 @@ struct CompiledStorage {
   struct Ref {
     StorageClass Class = StorageClass::TreeCell;
     uint32_t Group = 0;
+
+    bool operator==(const Ref &) const = default;
   };
   struct RuleInfo {
     StorageClass Class = StorageClass::TreeCell; ///< Target's class.
@@ -86,11 +88,22 @@ struct CompiledStorage {
     bool IsCopy = false;     ///< Eliminated by grouping: cell sharing only.
     bool TargetDies = false; ///< Dies at the defining chunk's LEAVE
                              ///< (everything but LHS-synthesized results).
+
+    bool operator==(const RuleInfo &) const = default;
   };
   std::vector<Ref> Args;       ///< Parallel to CompiledPlan::Args.
   std::vector<RuleInfo> Rules; ///< Parallel to CompiledPlan::Rules.
 
   CompiledStorage(const CompiledPlan &CP, const StorageAssignment &SA);
+
+  bool operator==(const CompiledStorage &) const = default;
+
+private:
+  /// The artifact codec (fnc2/ArtifactCache.cpp) reloads the side tables
+  /// from a cached artifact instead of re-deriving them.
+  friend struct ArtifactCodec;
+  friend struct CompiledArtifact;
+  CompiledStorage() = default;
 };
 
 /// Evaluates an EvaluationPlan under a StorageAssignment.

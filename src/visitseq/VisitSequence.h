@@ -41,6 +41,8 @@ struct VisitInstr {
   unsigned ChildPartition = 0;
   /// Eval: the rules to run, in dependency order.
   std::vector<RuleId> Rules;
+
+  bool operator==(const VisitInstr &) const = default;
 };
 
 /// The visit sequence of one (production, LHS partition) pair.
@@ -53,6 +55,8 @@ struct VisitSequence {
   std::vector<unsigned> BeginIndex;
   /// Partition id committed for each son.
   std::vector<unsigned> ChildPartition;
+
+  bool operator==(const VisitSequence &) const = default;
 };
 
 /// Everything an evaluator needs: partition tables and visit sequences.
@@ -74,6 +78,10 @@ struct EvaluationPlan {
   /// Per production: LHS partition id -> index into Seqs.
   std::vector<std::map<unsigned, unsigned>> SeqIndex;
   unsigned RootPartition = 0;
+
+  /// Structural equality; AG compares by address (two plans for one live
+  /// grammar), which is what the artifact round-trip test wants.
+  bool operator==(const EvaluationPlan &) const = default;
 
   /// Finds the sequence for production \p P under LHS partition \p Part;
   /// nullptr when that pair was never generated.

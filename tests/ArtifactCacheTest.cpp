@@ -1,0 +1,537 @@
+//===- tests/ArtifactCacheTest.cpp - persistent artifact cache ------------===//
+//
+// The artifact cache's three promises, each pinned here:
+//
+//  * Fidelity — a stored-then-loaded artifact is indistinguishable from the
+//    generation it came from: every verdict, visit sequence, compiled
+//    stream and storage table compares equal, re-encoding is byte-exact,
+//    and all six evaluator engines attribute trees identically from the
+//    loaded plan (round-trip differential over the classics and the seeded
+//    SpecGen system sweep).
+//  * Robustness — corrupted files (byte flips, truncations at every length
+//    including all section boundaries, version bumps, stale keys) are
+//    rejected with a diagnostic, never crash, and fall back to
+//    regeneration. Runs under ASan/UBSan in CI.
+//  * Atomicity — writers racing on one cache directory through the
+//    temp-file + rename protocol leave exactly one valid artifact and
+//    never make a reader observe a torn file. Runs under TSan in CI.
+//
+// The golden test additionally pins the on-disk byte layout: any layout
+// change must bump serialize::kFormatVersion and regenerate the golden
+// (FNC2_UPDATE_GOLDENS=1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "FamilyCheck.h"
+#include "olga/Driver.h"
+#include "serialize/ArtifactFile.h"
+#include "workloads/ClassicGrammars.h"
+#include "workloads/SpecGen.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+using namespace fnc2;
+using namespace fnc2::testutil;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh per-test cache directory under the gtest temp dir.
+std::string freshCacheDir(const std::string &Tag) {
+  std::string Dir = ::testing::TempDir() + "fnc2-artifact-" + Tag;
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  return Dir;
+}
+
+std::vector<uint8_t> readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  return {std::istreambuf_iterator<char>(In), std::istreambuf_iterator<char>()};
+}
+
+void writeFile(const std::string &Path, std::span<const uint8_t> Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(Out.good()) << Path;
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+}
+
+/// Asserts the loaded evaluator \p Got is structurally identical to the
+/// fresh generation \p Ref, layer by layer.
+void expectSameGeneration(const GeneratedEvaluator &Ref,
+                          const GeneratedEvaluator &Got) {
+  ASSERT_TRUE(Got.Success);
+  EXPECT_TRUE(Got.FromCache);
+  EXPECT_TRUE(Ref.Classes == Got.Classes) << "analysis verdicts drifted";
+  EXPECT_TRUE(Ref.Transform == Got.Transform) << "transform drifted";
+  EXPECT_TRUE(Ref.Plan == Got.Plan) << "evaluation plan drifted";
+  EXPECT_TRUE(Ref.Storage == Got.Storage) << "storage assignment drifted";
+
+  // The deserialized compiled image equals a private compilation from the
+  // same plan, pool by pool (CompiledRule::Fn compares by address — both
+  // sides resolve into the same live grammar).
+  ASSERT_TRUE(Got.Compiled != nullptr);
+  const CompiledPlan &CP = Got.Compiled->CP;
+  CompiledPlan Fresh(Ref.Plan);
+  EXPECT_TRUE(CP.Instrs == Fresh.Instrs);
+  EXPECT_TRUE(CP.BeginOfs == Fresh.BeginOfs);
+  EXPECT_TRUE(CP.Rules == Fresh.Rules);
+  EXPECT_TRUE(CP.ById == Fresh.ById);
+  EXPECT_TRUE(CP.Args == Fresh.Args);
+  EXPECT_TRUE(CP.Seqs == Fresh.Seqs);
+  EXPECT_TRUE(CP.SeqTable == Fresh.SeqTable);
+  EXPECT_EQ(CP.MaxPartition, Fresh.MaxPartition);
+  EXPECT_TRUE(CP.Frames == Fresh.Frames);
+  EXPECT_EQ(CP.MaxRuleArgs, Fresh.MaxRuleArgs);
+  EXPECT_TRUE(CP.InhByPhylum == Fresh.InhByPhylum);
+  EXPECT_TRUE(CP.SynByPhylum == Fresh.SynByPhylum);
+  if (Got.Compiled->HasStorage) {
+    CompiledStorage FreshCS(Fresh, Ref.Storage);
+    EXPECT_TRUE(Got.Compiled->CS == FreshCS);
+  }
+}
+
+using GrammarFactory = AttributeGrammar (*)(DiagnosticEngine &);
+
+struct ClassicCase {
+  const char *Name;
+  GrammarFactory Make;
+  unsigned TreeSize;
+};
+
+class ArtifactRoundTripTest : public ::testing::TestWithParam<ClassicCase> {};
+
+// generate -> encode -> decode: verdicts, sequences, streams and storage
+// equal; re-encoding the loaded artifact is byte-exact; all six engines
+// attribute identically from the loaded plan (including ones borrowing the
+// deserialized compiled image).
+TEST_P(ArtifactRoundTripTest, LoadedArtifactMatchesGeneration) {
+  const ClassicCase &C = GetParam();
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = C.Make(Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.dump();
+  DiagnosticEngine GD;
+  GeneratorOptions Opts;
+  Opts.OagK = 1;
+  GeneratedEvaluator Ref = generateEvaluator(AG, GD, Opts);
+  ASSERT_TRUE(Ref.Success) << GD.dump();
+
+  std::vector<uint8_t> Bytes = ArtifactCache::encode(AG, Opts, Ref);
+  GeneratedEvaluator Got;
+  std::string Reason;
+  ASSERT_TRUE(ArtifactCache::decode(Bytes, AG, Opts, Got, Reason)) << Reason;
+  expectSameGeneration(Ref, Got);
+
+  EXPECT_EQ(ArtifactCache::encode(AG, Opts, Got), Bytes)
+      << "re-encoding a loaded artifact must be byte-exact";
+
+  runFamily(AG, Got, 4, C.TreeSize, 11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammars, ArtifactRoundTripTest,
+    ::testing::Values(ClassicCase{"desk", workloads::deskCalculator, 120},
+                      ClassicCase{"binary", workloads::binaryNumbers, 120},
+                      ClassicCase{"repmin", workloads::repmin, 120},
+                      ClassicCase{"twoctx", workloads::twoContextGrammar, 20},
+                      ClassicCase{"dnc", workloads::dncNotOagGrammar, 40},
+                      ClassicCase{"oag1", workloads::oag1Grammar, 40}),
+    [](const ::testing::TestParamInfo<ClassicCase> &I) {
+      return I.param.Name;
+    });
+
+// The seeded SpecGen system sweep: molga-compiled grammars round-trip too.
+TEST(ArtifactCacheTest, SpecGenSweepRoundTrips) {
+  for (const workloads::SystemAg &Ag : workloads::systemAgSuite()) {
+    DiagnosticEngine Diags;
+    olga::CompileResult C = olga::compileMolga(Ag.Source, Diags);
+    ASSERT_TRUE(C.Success) << Ag.Name << ": " << Diags.dump();
+    const AttributeGrammar &AG = C.Grammars[0].AG;
+    DiagnosticEngine GD;
+    GeneratorOptions Opts;
+    Opts.OagK = Ag.OagK;
+    GeneratedEvaluator Ref = generateEvaluator(AG, GD, Opts);
+    ASSERT_TRUE(Ref.Success) << Ag.Name << ": " << GD.dump();
+
+    std::vector<uint8_t> Bytes = ArtifactCache::encode(AG, Opts, Ref);
+    GeneratedEvaluator Got;
+    std::string Reason;
+    ASSERT_TRUE(ArtifactCache::decode(Bytes, AG, Opts, Got, Reason))
+        << Ag.Name << ": " << Reason;
+    expectSameGeneration(Ref, Got);
+    EXPECT_EQ(ArtifactCache::encode(AG, Opts, Got), Bytes) << Ag.Name;
+    runFamily(AG, Got, 2, 120, 23);
+  }
+}
+
+// SpaceOptimize=false artifacts carry no storage sections and still load.
+TEST(ArtifactCacheTest, RoundTripsWithoutSpaceOptimization) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  DiagnosticEngine GD;
+  GeneratorOptions Opts;
+  Opts.SpaceOptimize = false;
+  GeneratedEvaluator Ref = generateEvaluator(AG, GD, Opts);
+  ASSERT_TRUE(Ref.Success) << GD.dump();
+
+  std::vector<uint8_t> Bytes = ArtifactCache::encode(AG, Opts, Ref);
+  GeneratedEvaluator Got;
+  std::string Reason;
+  ASSERT_TRUE(ArtifactCache::decode(Bytes, AG, Opts, Got, Reason)) << Reason;
+  ASSERT_TRUE(Got.Compiled != nullptr);
+  EXPECT_FALSE(Got.Compiled->HasStorage);
+  EXPECT_TRUE(Ref.Plan == Got.Plan);
+}
+
+//===----------------------------------------------------------------------===//
+// The generator integration: miss -> store -> hit through the filesystem.
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactCacheTest, GeneratorMissStoreHitFlow) {
+  const std::string Dir = freshCacheDir("flow");
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+
+  GeneratorOptions Opts;
+  Opts.CacheDir = Dir;
+  DiagnosticEngine D1;
+  GeneratedEvaluator Cold = generateEvaluator(AG, D1, Opts);
+  ASSERT_TRUE(Cold.Success) << D1.dump();
+  EXPECT_FALSE(Cold.FromCache);
+  EXPECT_TRUE(Cold.Compiled != nullptr)
+      << "storing populates the compiled bundle";
+
+  DiagnosticEngine D2;
+  GeneratedEvaluator Warm = generateEvaluator(AG, D2, Opts);
+  ASSERT_TRUE(Warm.Success) << D2.dump();
+  EXPECT_TRUE(Warm.FromCache);
+  EXPECT_TRUE(Cold.Plan == Warm.Plan);
+  EXPECT_TRUE(Cold.Classes == Warm.Classes);
+  EXPECT_TRUE(Cold.Storage == Warm.Storage);
+  // Loaded evaluators report zero phase times: nothing was computed.
+  EXPECT_EQ(Warm.Times.total(), 0.0);
+
+  // The warm evaluator is fully usable.
+  runFamily(AG, Warm, 3, 100, 11);
+}
+
+TEST(ArtifactCacheTest, KeySeparatesGrammarsAndOptions) {
+  DiagnosticEngine Diags;
+  AttributeGrammar Desk = workloads::deskCalculator(Diags);
+  AttributeGrammar Repmin = workloads::repmin(Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+
+  GeneratorOptions A;
+  EXPECT_NE(ArtifactCache::artifactKey(Desk, A),
+            ArtifactCache::artifactKey(Repmin, A));
+
+  GeneratorOptions B = A;
+  B.SpaceOptimize = false;
+  EXPECT_NE(ArtifactCache::artifactKey(Desk, A),
+            ArtifactCache::artifactKey(Desk, B));
+  GeneratorOptions C = A;
+  C.OagK = 3;
+  EXPECT_NE(ArtifactCache::artifactKey(Desk, A),
+            ArtifactCache::artifactKey(Desk, C));
+
+  // GFA tuning does not affect generator output and must not split the key.
+  GeneratorOptions D = A;
+  D.Gfa.NaiveFixpoint = true;
+  D.Gfa.Threads = 7;
+  EXPECT_EQ(ArtifactCache::artifactKey(Desk, A),
+            ArtifactCache::artifactKey(Desk, D));
+  // Neither does the cache directory itself.
+  GeneratorOptions E = A;
+  E.CacheDir = "/somewhere/else";
+  EXPECT_EQ(ArtifactCache::artifactKey(Desk, A),
+            ArtifactCache::artifactKey(Desk, E));
+}
+
+// A grammar edit changes the key: the stale artifact is simply never
+// consulted (a miss, not a reject), the mkfnc2 invalidation discipline.
+TEST(ArtifactCacheTest, GrammarEditInvalidates) {
+  const std::string Dir = freshCacheDir("invalidate");
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+
+  GeneratorOptions Opts;
+  Opts.CacheDir = Dir;
+  DiagnosticEngine D1;
+  ASSERT_TRUE(generateEvaluator(AG, D1, Opts).Success);
+
+  // Rename a semantic function: content hash moves.
+  AttributeGrammar Edited = AG;
+  ASSERT_FALSE(Edited.Rules.empty());
+  Edited.Rules[0].FnName += "_v2";
+  ArtifactCache Cache(Dir);
+  EXPECT_NE(ArtifactCache::artifactKey(AG, Opts),
+            ArtifactCache::artifactKey(Edited, Opts));
+  GeneratedEvaluator G;
+  std::string Reason;
+  EXPECT_EQ(Cache.load(Edited, Opts, G, Reason), CacheLookup::Miss);
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption injection: every mutilation is a clean reject + regeneration.
+//===----------------------------------------------------------------------===//
+
+class ArtifactCorruptionTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    DiagnosticEngine Diags;
+    AG = workloads::deskCalculator(Diags);
+    ASSERT_FALSE(Diags.hasErrors());
+    DiagnosticEngine GD;
+    Ref = generateEvaluator(AG, GD, Opts);
+    ASSERT_TRUE(Ref.Success) << GD.dump();
+    Bytes = ArtifactCache::encode(AG, Opts, Ref);
+    ASSERT_FALSE(Bytes.empty());
+  }
+
+  /// The corrupted image must be rejected with a diagnostic and must leave
+  /// the output evaluator untouched.
+  void expectReject(std::span<const uint8_t> Bad, const std::string &What) {
+    GeneratedEvaluator G;
+    std::string Reason;
+    EXPECT_FALSE(ArtifactCache::decode(Bad, AG, Opts, G, Reason)) << What;
+    EXPECT_FALSE(Reason.empty()) << What;
+    EXPECT_FALSE(G.Success) << What << ": rejected decode wrote output";
+  }
+
+  AttributeGrammar AG;
+  GeneratorOptions Opts;
+  GeneratedEvaluator Ref;
+  std::vector<uint8_t> Bytes;
+};
+
+TEST_F(ArtifactCorruptionTest, EveryByteFlipRejected) {
+  for (size_t I = 0; I != Bytes.size(); ++I) {
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[I] ^= 0xA5;
+    expectReject(Bad, "flip at byte " + std::to_string(I));
+  }
+}
+
+TEST_F(ArtifactCorruptionTest, EveryTruncationRejected) {
+  // Every prefix, which subsumes truncation at every section boundary.
+  for (size_t Len = 0; Len != Bytes.size(); ++Len)
+    expectReject(std::span(Bytes).first(Len),
+                 "truncation to " + std::to_string(Len));
+}
+
+TEST_F(ArtifactCorruptionTest, SectionBoundaryTruncationsRejected) {
+  // Parse the table to name the exact payload boundaries, and check the
+  // cut at each one (the off-by-one the contiguity equation exists for).
+  ASSERT_GE(Bytes.size(), 28u);
+  auto U32 = [&](size_t O) {
+    return uint32_t(Bytes[O]) | uint32_t(Bytes[O + 1]) << 8 |
+           uint32_t(Bytes[O + 2]) << 16 | uint32_t(Bytes[O + 3]) << 24;
+  };
+  auto U64 = [&](size_t O) {
+    return uint64_t(U32(O)) | uint64_t(U32(O + 4)) << 32;
+  };
+  uint32_t N = U32(20);
+  ASSERT_GE(N, 5u) << "expected at least the five mandatory sections";
+  for (uint32_t I = 0; I != N; ++I) {
+    size_t Entry = 28 + size_t(I) * 24;
+    uint64_t Offset = U64(Entry + 4), Size = U64(Entry + 12);
+    ASSERT_LE(Offset + Size, Bytes.size());
+    expectReject(std::span(Bytes).first(Offset),
+                 "cut at start of section " + std::to_string(U32(Entry)));
+    expectReject(std::span(Bytes).first(Offset + Size - 1),
+                 "cut one byte short of section " + std::to_string(U32(Entry)));
+  }
+}
+
+TEST_F(ArtifactCorruptionTest, VersionBumpRejected) {
+  // A future format version must be a clean miss even with valid CRCs:
+  // rebuild the container at version+1 around the original sections.
+  serialize::ArtifactReader R;
+  std::string Reason;
+  ASSERT_TRUE(R.open(Bytes, ArtifactCache::artifactKey(AG, Opts), Reason));
+  serialize::ArtifactWriter W(ArtifactCache::artifactKey(AG, Opts),
+                              serialize::kFormatVersion + 1);
+  for (uint32_t Id = 1; Id <= 7; ++Id)
+    if (R.hasSection(Id)) {
+      serialize::ByteReader S = R.section(Id);
+      serialize::ByteWriter &Out = W.section(Id);
+      while (S.remaining())
+        Out.u8(S.u8());
+    }
+  std::vector<uint8_t> Bumped = W.finish();
+  GeneratedEvaluator G;
+  std::string Why;
+  EXPECT_FALSE(ArtifactCache::decode(Bumped, AG, Opts, G, Why));
+  EXPECT_NE(Why.find("version"), std::string::npos) << Why;
+}
+
+TEST_F(ArtifactCorruptionTest, StaleKeyRejectedThroughCache) {
+  // Plant the desk artifact at repmin's path: the key check refuses it,
+  // and regeneration overwrites the impostor.
+  const std::string Dir = freshCacheDir("stale");
+  DiagnosticEngine Diags;
+  AttributeGrammar Repmin = workloads::repmin(Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+
+  ArtifactCache Cache(Dir);
+  writeFile(Cache.pathFor(ArtifactCache::artifactKey(Repmin, Opts)), Bytes);
+
+  GeneratedEvaluator G;
+  std::string Reason;
+  EXPECT_EQ(Cache.load(Repmin, Opts, G, Reason), CacheLookup::Reject);
+  EXPECT_FALSE(Reason.empty());
+  EXPECT_EQ(Cache.stats().Rejects, 1u);
+
+  // The generator path recovers by regenerating and overwriting.
+  GeneratorOptions WithDir = Opts;
+  WithDir.CacheDir = Dir;
+  DiagnosticEngine GD;
+  GeneratedEvaluator Regen = generateEvaluator(Repmin, GD, WithDir);
+  ASSERT_TRUE(Regen.Success) << GD.dump();
+  EXPECT_FALSE(Regen.FromCache);
+  GeneratedEvaluator Fixed;
+  EXPECT_EQ(Cache.load(Repmin, WithDir, Fixed, Reason), CacheLookup::Hit)
+      << Reason;
+}
+
+TEST_F(ArtifactCorruptionTest, SeededRandomCorruptionFuzz) {
+  uint64_t State = 0x853C49E6748FEA9Bull;
+  auto Next = [&State] {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  };
+  for (int Round = 0; Round != 300; ++Round) {
+    std::vector<uint8_t> Bad = Bytes;
+    switch (Next() % 3) {
+    case 0: { // scattered flips
+      unsigned Flips = 1 + Next() % 16;
+      for (unsigned I = 0; I != Flips; ++I)
+        Bad[Next() % Bad.size()] ^= static_cast<uint8_t>(1 + Next() % 255);
+      break;
+    }
+    case 1: // truncate
+      Bad.resize(Next() % Bad.size());
+      break;
+    default: { // splice a garbage run
+      size_t At = Next() % Bad.size();
+      size_t Len = std::min<size_t>(1 + Next() % 64, Bad.size() - At);
+      for (size_t I = 0; I != Len; ++I)
+        Bad[At + I] = static_cast<uint8_t>(Next());
+      break;
+    }
+    }
+    if (Bad == Bytes)
+      continue;
+    expectReject(Bad, "fuzz round " + std::to_string(Round));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Golden artifact: the committed byte image of the desk calculator.
+//===----------------------------------------------------------------------===//
+
+// Byte-stable serialization is what makes the cache shareable across builds
+// and the corruption tests meaningful. This golden fails whenever the
+// artifact layout changes; the required response is bumping
+// serialize::kFormatVersion and regenerating (FNC2_UPDATE_GOLDENS=1).
+TEST(ArtifactGoldenTest, DeskArtifactMatchesCommittedBytes) {
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  DiagnosticEngine GD;
+  GeneratorOptions Opts;
+  GeneratedEvaluator GE = generateEvaluator(AG, GD, Opts);
+  ASSERT_TRUE(GE.Success) << GD.dump();
+
+  std::vector<uint8_t> Bytes = ArtifactCache::encode(AG, Opts, GE);
+  // Two encodings in one process agree (no wall-clock, no pointers leak in).
+  EXPECT_EQ(ArtifactCache::encode(AG, Opts, GE), Bytes);
+
+  const std::string Path =
+      std::string(FNC2_GOLDEN_DIR) + "/artifact_desk.golden";
+  if (std::getenv("FNC2_UPDATE_GOLDENS")) {
+    writeFile(Path, Bytes);
+    return;
+  }
+  std::vector<uint8_t> Golden = readFile(Path);
+  ASSERT_FALSE(Golden.empty())
+      << "missing golden " << Path << " (regenerate with FNC2_UPDATE_GOLDENS=1)";
+  EXPECT_TRUE(Golden == Bytes)
+      << "artifact bytes drifted from " << Path
+      << " — bump serialize::kFormatVersion and regenerate with "
+         "FNC2_UPDATE_GOLDENS=1";
+  // And the committed image still decodes against today's grammar.
+  GeneratedEvaluator G;
+  std::string Reason;
+  EXPECT_TRUE(ArtifactCache::decode(Golden, AG, Opts, G, Reason)) << Reason;
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: racing store+load through the atomic rename protocol.
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactConcurrencyTest, RacingStoreLoadLeavesOneValidArtifact) {
+  const std::string Dir = freshCacheDir("race");
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = workloads::deskCalculator(Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  GeneratorOptions Opts;
+  DiagnosticEngine GD;
+  GeneratedEvaluator GE = generateEvaluator(AG, GD, Opts);
+  ASSERT_TRUE(GE.Success) << GD.dump();
+
+  constexpr unsigned Threads = 4, Rounds = 8;
+  std::atomic<unsigned> BadLoads{0}, GoodLoads{0}, Stores{0};
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&] {
+      ArtifactCache Cache(Dir);
+      for (unsigned I = 0; I != Rounds; ++I) {
+        DiagnosticEngine D;
+        GeneratedEvaluator Mine = generateEvaluator(AG, D, Opts);
+        if (Cache.store(AG, Opts, Mine))
+          Stores.fetch_add(1);
+        GeneratedEvaluator Loaded;
+        std::string Reason;
+        // After our own store an artifact for the key exists; every racer
+        // writes identical content, so the only acceptable outcome is Hit —
+        // a Reject would mean a torn read, a Miss a vanished file.
+        if (Cache.load(AG, Opts, Loaded, Reason) == CacheLookup::Hit &&
+            Loaded.Plan == Mine.Plan)
+          GoodLoads.fetch_add(1);
+        else
+          BadLoads.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  EXPECT_EQ(BadLoads.load(), 0u);
+  EXPECT_EQ(GoodLoads.load(), Threads * Rounds);
+  EXPECT_EQ(Stores.load(), Threads * Rounds);
+
+  // Exactly one artifact file remains, no temp droppings, and it loads.
+  unsigned Artifacts = 0, Others = 0;
+  for (const auto &E : fs::directory_iterator(Dir))
+    (E.path().extension() == ".fnc2art" ? Artifacts : Others) += 1;
+  EXPECT_EQ(Artifacts, 1u);
+  EXPECT_EQ(Others, 0u) << "temp files leaked";
+  ArtifactCache Cache(Dir);
+  GeneratedEvaluator Final;
+  std::string Reason;
+  EXPECT_EQ(Cache.load(AG, Opts, Final, Reason), CacheLookup::Hit) << Reason;
+  runFamily(AG, Final, 2, 80, 5);
+}
+
+} // namespace

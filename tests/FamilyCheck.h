@@ -1,0 +1,235 @@
+//===- tests/FamilyCheck.h - shared evaluator-family checkers ---*- C++ -*-===//
+//
+// The cross-engine differential machinery shared by DifferentialTest (fresh
+// generations) and ArtifactCacheTest (deserialized generations): clone
+// helpers, the structural attribution comparator, and runFamily(), which
+// drives all six engines — exhaustive compiled + interpreted, demand,
+// storage compiled + interpreted, batch, batch-storage — over generated
+// trees and cross-checks every one against the sequential exhaustive
+// evaluator.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_TESTS_FAMILYCHECK_H
+#define FNC2_TESTS_FAMILYCHECK_H
+
+#include "eval/BatchEvaluator.h"
+#include "eval/DemandEvaluator.h"
+#include "eval/Evaluator.h"
+#include "fnc2/ArtifactCache.h"
+#include "fnc2/Generator.h"
+#include "storage/BatchStorageEvaluator.h"
+#include "storage/StorageEvaluator.h"
+#include "tree/TreeGen.h"
+
+#include <gtest/gtest.h>
+
+namespace fnc2::testutil {
+
+/// Clones \p T into a fresh tree with pristine attribute state.
+inline Tree cloneTree(const AttributeGrammar &AG, const Tree &T) {
+  Tree C(AG);
+  C.setRoot(T.clone(T.root()));
+  return C;
+}
+
+/// Applies a fixed value for every inherited attribute of the start phylum
+/// through \p Set, so grammars whose roots demand context still evaluate.
+template <typename EvalT>
+void provideRootInherited(const AttributeGrammar &AG, EvalT &E) {
+  for (AttrId A : AG.phylum(AG.Start).Attrs)
+    if (AG.attr(A).isInherited())
+      E.setRootInherited(A, Value::ofInt(7));
+}
+
+/// Asserts both trees carry identical attribute instances: same computed
+/// masks, structurally equal values; locals compare when both sides did
+/// compute them (the variants differ in whether locals survive).
+inline void expectSameAttribution(const AttributeGrammar &AG,
+                                  const TreeNode *Ref, const TreeNode *Got,
+                                  const std::string &Tag) {
+  ASSERT_EQ(Ref->Prod, Got->Prod) << Tag;
+  ASSERT_EQ(Ref->FrameAttrs, Got->FrameAttrs)
+      << Tag << ": attribute slot count at " << AG.prod(Ref->Prod).Name;
+  for (unsigned I = 0; I != Ref->FrameAttrs; ++I) {
+    EXPECT_EQ(Ref->attrComputed(I), Got->attrComputed(I))
+        << Tag << ": computed mask " << I << " at " << AG.prod(Ref->Prod).Name;
+    if (Ref->attrComputed(I) && Got->attrComputed(I)) {
+      EXPECT_TRUE(Ref->attrVal(I).equals(Got->attrVal(I)))
+          << Tag << ": attribute " << I << " at " << AG.prod(Ref->Prod).Name
+          << ": " << Ref->attrVal(I).str() << " vs " << Got->attrVal(I).str();
+    }
+  }
+  unsigned Locals = std::min(Ref->FrameLocals, Got->FrameLocals);
+  for (unsigned I = 0; I != Locals; ++I)
+    if (Ref->localComputed(I) && Got->localComputed(I)) {
+      EXPECT_TRUE(Ref->localVal(I).equals(Got->localVal(I)))
+          << Tag << ": local " << I << " at " << AG.prod(Ref->Prod).Name;
+    }
+  ASSERT_EQ(Ref->arity(), Got->arity()) << Tag;
+  for (unsigned I = 0; I != Ref->arity(); ++I)
+    expectSameAttribution(AG, Ref->child(I), Got->child(I), Tag);
+}
+
+/// Runs the whole family over \p NumTrees generated trees of \p AG and
+/// cross-checks every variant against the sequential exhaustive evaluator.
+/// When \p GE carries a compiled artifact bundle (cache hit or store), the
+/// exhaustive and storage engines additionally run borrowing its
+/// CompiledPlan/CompiledStorage — the deserialized instruction streams must
+/// attribute identically to privately compiled ones.
+inline void runFamily(const AttributeGrammar &AG, const GeneratedEvaluator &GE,
+                      unsigned NumTrees, unsigned TreeSize, uint64_t Seed) {
+  ASSERT_TRUE(GE.Success) << AG.Name;
+  TreeGenerator Gen(AG, Seed);
+
+  std::vector<Tree> Sources;
+  for (unsigned I = 0; I != NumTrees; ++I)
+    Sources.push_back(Gen.generate(TreeSize + 31 * I));
+
+  // Reference: the sequential exhaustive evaluator. SeqTotal accumulates
+  // the whole family's per-tree counters for the merge checks below.
+  std::vector<Tree> Reference;
+  std::vector<EvalStats> RefStats;
+  EvalStats SeqTotal;
+  for (const Tree &T : Sources) {
+    Tree R = cloneTree(AG, T);
+    Evaluator E(GE.Plan);
+    provideRootInherited(AG, E);
+    DiagnosticEngine D;
+    ASSERT_TRUE(E.evaluate(R, D)) << AG.Name << ": " << D.dump();
+    SeqTotal.merge(E.stats());
+    RefStats.push_back(E.stats());
+    Reference.push_back(std::move(R));
+  }
+
+  // Demand-driven evaluation agrees, and — computing each needed instance
+  // exactly once while skipping unneeded locals — never runs more rules
+  // than the exhaustive evaluator.
+  for (unsigned I = 0; I != NumTrees; ++I) {
+    Tree T = cloneTree(AG, Sources[I]);
+    DemandEvaluator DE(AG);
+    provideRootInherited(AG, DE);
+    DiagnosticEngine D;
+    ASSERT_TRUE(DE.evaluateAll(T, D)) << AG.Name << ": " << D.dump();
+    expectSameAttribution(AG, Reference[I].root(), T.root(),
+                          AG.Name + "/demand");
+    EXPECT_LE(DE.stats().RulesEvaluated, RefStats[I].RulesEvaluated)
+        << AG.Name << "/demand tree " << I;
+  }
+
+  // Storage-optimized evaluation agrees (mirroring writes into the tree).
+  for (unsigned I = 0; I != NumTrees; ++I) {
+    Tree T = cloneTree(AG, Sources[I]);
+    StorageEvaluator SE(GE.Plan, GE.Storage);
+    SE.setMirrorToTree(true);
+    provideRootInherited(AG, SE);
+    DiagnosticEngine D;
+    ASSERT_TRUE(SE.evaluate(T, D)) << AG.Name << ": " << D.dump();
+    expectSameAttribution(AG, Reference[I].root(), T.root(),
+                          AG.Name + "/storage");
+    EXPECT_EQ(SE.stats().RulesEvaluated, RefStats[I].RulesEvaluated)
+        << AG.Name << "/storage tree " << I
+        << ": same plan, same tree, same rule executions";
+  }
+
+  // The interpreted VisitSequence walk (the FNC2_INTERP_FALLBACK path) must
+  // match the compiled instruction stream attribution-for-attribution and
+  // counter-for-counter: they are two executions of the same plan.
+  for (unsigned I = 0; I != NumTrees; ++I) {
+    Tree T = cloneTree(AG, Sources[I]);
+    Evaluator E(GE.Plan);
+    E.setUseInterpreted(true);
+    provideRootInherited(AG, E);
+    DiagnosticEngine D;
+    ASSERT_TRUE(E.evaluate(T, D)) << AG.Name << ": " << D.dump();
+    expectSameAttribution(AG, Reference[I].root(), T.root(),
+                          AG.Name + "/interp");
+    EXPECT_EQ(E.stats().RulesEvaluated, RefStats[I].RulesEvaluated)
+        << AG.Name << "/interp tree " << I;
+    EXPECT_EQ(E.stats().VisitsPerformed, RefStats[I].VisitsPerformed)
+        << AG.Name << "/interp tree " << I;
+  }
+
+  // Same check for the storage evaluator's interpreted fallback.
+  for (unsigned I = 0; I != NumTrees; ++I) {
+    Tree T = cloneTree(AG, Sources[I]);
+    StorageEvaluator SE(GE.Plan, GE.Storage);
+    SE.setUseInterpreted(true);
+    SE.setMirrorToTree(true);
+    provideRootInherited(AG, SE);
+    DiagnosticEngine D;
+    ASSERT_TRUE(SE.evaluate(T, D)) << AG.Name << ": " << D.dump();
+    expectSameAttribution(AG, Reference[I].root(), T.root(),
+                          AG.Name + "/storage-interp");
+    EXPECT_EQ(SE.stats().RulesEvaluated, RefStats[I].RulesEvaluated)
+        << AG.Name << "/storage-interp tree " << I;
+  }
+
+  // Engines borrowing the artifact bundle's deserialized compiled state.
+  if (GE.Compiled) {
+    const CompiledArtifact &A = *GE.Compiled;
+    for (unsigned I = 0; I != NumTrees; ++I) {
+      Tree T = cloneTree(AG, Sources[I]);
+      Evaluator E(A.Plan, A.CP);
+      provideRootInherited(AG, E);
+      DiagnosticEngine D;
+      ASSERT_TRUE(E.evaluate(T, D)) << AG.Name << ": " << D.dump();
+      expectSameAttribution(AG, Reference[I].root(), T.root(),
+                            AG.Name + "/artifact-borrowed");
+      EXPECT_EQ(E.stats().RulesEvaluated, RefStats[I].RulesEvaluated)
+          << AG.Name << "/artifact-borrowed tree " << I;
+    }
+    if (A.HasStorage)
+      for (unsigned I = 0; I != NumTrees; ++I) {
+        Tree T = cloneTree(AG, Sources[I]);
+        StorageEvaluator SE(A.Plan, GE.Storage, A.CP, A.CS);
+        SE.setMirrorToTree(true);
+        provideRootInherited(AG, SE);
+        DiagnosticEngine D;
+        ASSERT_TRUE(SE.evaluate(T, D)) << AG.Name << ": " << D.dump();
+        expectSameAttribution(AG, Reference[I].root(), T.root(),
+                              AG.Name + "/artifact-borrowed-storage");
+      }
+  }
+
+  // The batch engine at 4 threads matches the sequential evaluator on every
+  // tree, and so does the batched storage evaluator.
+  ThreadPool Pool(4);
+  {
+    std::vector<Tree> Batch;
+    for (const Tree &T : Sources)
+      Batch.push_back(cloneTree(AG, T));
+    BatchEvaluator BE(GE.Plan, Pool);
+    provideRootInherited(AG, BE);
+    BatchResult R = BE.evaluate(Batch);
+    ASSERT_TRUE(R.allSucceeded())
+        << AG.Name << ": " << R.Outcomes[0].Diags.dump();
+    for (unsigned I = 0; I != NumTrees; ++I)
+      expectSameAttribution(AG, Reference[I].root(), Batch[I].root(),
+                            AG.Name + "/batch");
+    // Worker stats merged on join must equal the sequential totals: same
+    // trees, same plan, no work lost or double-counted across workers.
+    EXPECT_EQ(R.Stats.RulesEvaluated, SeqTotal.RulesEvaluated) << AG.Name;
+    EXPECT_EQ(R.Stats.VisitsPerformed, SeqTotal.VisitsPerformed) << AG.Name;
+    EXPECT_EQ(R.Stats.InstructionsExecuted, SeqTotal.InstructionsExecuted)
+        << AG.Name;
+  }
+  {
+    std::vector<Tree> Batch;
+    for (const Tree &T : Sources)
+      Batch.push_back(cloneTree(AG, T));
+    BatchStorageEvaluator BSE(GE.Plan, GE.Storage, Pool);
+    BSE.setMirrorToTree(true);
+    provideRootInherited(AG, BSE);
+    BatchStorageResult R = BSE.evaluate(Batch);
+    ASSERT_TRUE(R.allSucceeded())
+        << AG.Name << ": " << R.Outcomes[0].Diags.dump();
+    for (unsigned I = 0; I != NumTrees; ++I)
+      expectSameAttribution(AG, Reference[I].root(), Batch[I].root(),
+                            AG.Name + "/batch-storage");
+  }
+}
+
+} // namespace fnc2::testutil
+
+#endif // FNC2_TESTS_FAMILYCHECK_H
