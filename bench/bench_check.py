@@ -23,6 +23,8 @@ import sys
 METRICS = {
     "ms_per_round": "lower",
     "trees_per_sec": "higher",
+    "ms_per_edit": "lower",
+    "rules_per_edit": "lower",
 }
 
 

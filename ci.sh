@@ -10,22 +10,29 @@
 #      cache-warmup bench (cold cascade+store vs warm artifact load; the
 #      bench itself exits nonzero if any warm run misses the cache or if the
 #      warm speedup falls below the 5x floor at the largest sweep point);
-#      their JSON outputs are copied to BENCH_evaluators.json,
-#      BENCH_batch.json, BENCH_generator.json and BENCH_cache.json at the
-#      repo root on every run.
+#      and the incremental-scaling bench (edit-log replay against 1k/10k/
+#      100k-node trees; the bench exits nonzero unless median per-edit work
+#      stays proportional to the affected region — not the tree — and every
+#      session, including the 100k-node one, saves and resumes
+#      bit-identically); their JSON outputs are copied to
+#      BENCH_evaluators.json, BENCH_batch.json, BENCH_generator.json,
+#      BENCH_cache.json and BENCH_incremental.json at the repo root on
+#      every run.
 #   3. bench_check: the fresh bench JSONs are diffed against the committed
 #      baselines; any shared data point more than 25% worse fails the run
 #      (bench/bench_check.py — tolerant to added/removed points).
 #   4. AddressSanitizer+UBSan build (-DFNC2_SANITIZE=address,undefined) of
-#      the serialization and artifact-cache suites: every corruption-
-#      injection case (byte flips, truncations, version bumps, stale keys)
+#      the serialization, artifact-cache and edit-log/session suites: every
+#      corruption-injection case (byte flips, truncations, version bumps,
+#      stale keys — on artifacts, edit logs and persisted sessions alike)
 #      must be rejected without touching invalid memory.
 #   5. ThreadSanitizer build (-DFNC2_SANITIZE=thread) + the concurrency,
-#      differential, interning, trace, oracle, parallel-cascade and
-#      artifact-cache race tests, which exercise the shared-plan read path,
-#      the string-interning pool, the per-thread trace buffers, the fixpoint
-#      engine's parallel rounds and racing cache store/load from many
-#      threads.
+#      differential, interning, trace, oracle, parallel-cascade,
+#      artifact-cache and multi-session race tests, which exercise the
+#      shared-plan read path, the string-interning pool, the per-thread
+#      trace buffers, the fixpoint engine's parallel rounds, racing cache
+#      store/load, and many incremental sessions editing concurrently over
+#      one immutable compiled plan.
 #
 # Usage: ./ci.sh [jobs]
 set -eu
@@ -38,10 +45,10 @@ cmake -B "$SRC/build" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$SRC/build" -j "$JOBS"
 ctest --test-dir "$SRC/build" --output-on-failure -j "$JOBS"
 
-echo "== [2/5] perf baselines (observability + batch + generator + cache) =="
+echo "== [2/5] perf baselines (observability + batch + generator + cache + incremental) =="
 cmake --build "$SRC/build" -j "$JOBS" \
       --target observability_overhead batch_throughput generator_scaling \
-               cache_warmup
+               cache_warmup incremental_scaling
 (cd "$SRC/build/bench" && ./observability_overhead)
 (cd "$SRC/build/bench" && ./batch_throughput --benchmark_min_time=0.05s)
 (cd "$SRC/build/bench" && ./generator_scaling)
@@ -49,6 +56,11 @@ cmake --build "$SRC/build" -j "$JOBS" \
 # every warm-phase generateEvaluator call reports FromCache (a cache.hit)
 # and enforces the >=5x warm speedup floor, exiting 1 otherwise.
 (cd "$SRC/build/bench" && ./cache_warmup)
+# incremental_scaling self-gates: median per-edit reevaluation must stay
+# proportional to the bounded edit region from 1k to 100k nodes, beat a
+# from-scratch pass by >=4x at every point, and every session must save
+# and resume bit-identically (the 100k point stresses serialization).
+(cd "$SRC/build/bench" && ./incremental_scaling)
 
 echo "== [3/5] bench_check against committed baselines =="
 if [ -f "$SRC/BENCH_evaluators.json" ]; then
@@ -67,20 +79,25 @@ if [ -f "$SRC/BENCH_cache.json" ]; then
   python3 "$SRC/bench/bench_check.py" "$SRC/BENCH_cache.json" \
           "$SRC/build/bench/cache_warmup.json"
 fi
+if [ -f "$SRC/BENCH_incremental.json" ]; then
+  python3 "$SRC/bench/bench_check.py" "$SRC/BENCH_incremental.json" \
+          "$SRC/build/bench/incremental_scaling.json"
+fi
 cp "$SRC/build/bench/evaluator_baselines.json" "$SRC/BENCH_evaluators.json"
 cp "$SRC/build/bench/batch_throughput.json" "$SRC/BENCH_batch.json"
 cp "$SRC/build/bench/generator_scaling.json" "$SRC/BENCH_generator.json"
 cp "$SRC/build/bench/cache_warmup.json" "$SRC/BENCH_cache.json"
+cp "$SRC/build/bench/incremental_scaling.json" "$SRC/BENCH_incremental.json"
 echo "wrote BENCH_evaluators.json, BENCH_batch.json, BENCH_generator.json," \
-     "BENCH_cache.json"
+     "BENCH_cache.json, BENCH_incremental.json"
 
 echo "== [4/5] ASan+UBSan build + serialization/corruption gate =="
 cmake -B "$SRC/build-asan" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DFNC2_SANITIZE=address,undefined
 cmake --build "$SRC/build-asan" -j "$JOBS" \
-      --target serialize_test artifact_cache_test
+      --target serialize_test artifact_cache_test edit_log_test
 ctest --test-dir "$SRC/build-asan" --output-on-failure -j "$JOBS" \
-      -R 'Serialize|ArtifactFile|Artifact'
+      -R 'Serialize|ArtifactFile|Artifact|EditLog|Session|ValueCodec|SubtreeCodec'
 
 echo "== [5/5] ThreadSanitizer build + race gate =="
 cmake -B "$SRC/build-tsan" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -88,8 +105,8 @@ cmake -B "$SRC/build-tsan" -S "$SRC" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "$SRC/build-tsan" -j "$JOBS" \
       --target concurrency_test differential_test value_intern_test \
                trace_test incremental_oracle_test analysis_test \
-               artifact_cache_test
+               artifact_cache_test edit_log_test
 ctest --test-dir "$SRC/build-tsan" --output-on-failure -j "$JOBS" \
-      -R 'ThreadPool|Concurrency|Differential|ValueIntern|Trace|Oracle|Cascade|Artifact'
+      -R 'ThreadPool|Concurrency|Differential|ValueIntern|Trace|Oracle|Cascade|Artifact|EditLogConcurrency|SessionFuzz'
 
 echo "ci.sh: all green"

@@ -15,6 +15,51 @@ bool fnc2::interpFallbackRequested() {
   return Requested;
 }
 
+uint64_t fnc2::planFingerprint(const CompiledPlan &CP) {
+  // FNV-1a, inlined so the eval layer does not depend on serialize/.
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    for (unsigned I = 0; I != 8; ++I) {
+      H ^= (V >> (8 * I)) & 0xff;
+      H *= 0x100000001b3ull;
+    }
+  };
+  auto MixRef = [&Mix](const SlotRef &R) {
+    Mix(static_cast<uint64_t>(R.Kind) | (uint64_t(R.Child) << 8) |
+        (uint64_t(R.Slot) << 16));
+  };
+  Mix(CP.Instrs.size());
+  for (const CompiledInstr &I : CP.Instrs) {
+    Mix(static_cast<uint64_t>(I.Kind) | (uint64_t(I.Child) << 8) |
+        (uint64_t(I.VisitNo) << 16));
+    Mix(uint64_t(I.A) | (uint64_t(I.B) << 32));
+  }
+  Mix(CP.BeginOfs.size());
+  for (uint32_t O : CP.BeginOfs)
+    Mix(O);
+  Mix(CP.Rules.size());
+  for (const CompiledRule &R : CP.Rules) {
+    Mix(uint64_t(R.FirstArg) | (uint64_t(R.NumArgs) << 32) |
+        (uint64_t(R.IsCopy) << 48));
+    Mix(R.Orig);
+    MixRef(R.Target);
+  }
+  Mix(CP.Args.size());
+  for (const SlotRef &R : CP.Args)
+    MixRef(R);
+  Mix(CP.Seqs.size());
+  for (const CompiledSeq &S : CP.Seqs) {
+    Mix(uint64_t(S.Prod) | (uint64_t(S.Partition) << 32));
+    Mix(uint64_t(S.NumVisits) | (uint64_t(S.FirstInstr) << 16) |
+        (uint64_t(S.FirstBegin) << 48));
+  }
+  Mix(CP.MaxPartition);
+  Mix(CP.Frames.size());
+  for (const FrameShape &F : CP.Frames)
+    Mix(uint64_t(F.NumAttrs) | (uint64_t(F.NumLocals) << 16));
+  return H;
+}
+
 namespace {
 
 /// Resolves one occurrence of \p Prod to its frame slot. Locals live behind

@@ -178,6 +178,17 @@ private:
   const EvaluationPlan *Src = nullptr;
 };
 
+/// A stable structural fingerprint of a compiled plan: an FNV-1a hash over
+/// the flat pools (instruction stream, rule targets and argument slots,
+/// sequence table geometry, frame shapes). Two plans that could disagree on
+/// a single frame layout or instruction hash differently, so persisted
+/// incremental sessions — whose frame snapshots are only meaningful under
+/// the exact plan that produced them — record it and reject resumption
+/// under any other plan. Semantic function pointers are excluded: they are
+/// process-local and identical plans reloaded from the artifact cache must
+/// fingerprint identically.
+uint64_t planFingerprint(const CompiledPlan &CP);
+
 /// True when FNC2_INTERP_FALLBACK is set (non-empty, not "0") in the
 /// environment: engines that keep an interpreted VisitSequence walk default
 /// to it instead of the compiled stream. Differential safety net.

@@ -80,6 +80,12 @@ public:
   static uint64_t artifactKey(const AttributeGrammar &AG,
                               const GeneratorOptions &Opts);
 
+  /// Hash of the grammar's canonical encoding alone, with no generator
+  /// options mixed in. Edit logs and persisted incremental sessions key
+  /// their containers off this (salted per file kind), so they bind to the
+  /// language rather than to one generator configuration.
+  static uint64_t grammarKey(const AttributeGrammar &AG);
+
   /// Path the artifact for \p Key lives at inside this cache.
   std::string pathFor(uint64_t Key) const;
 
@@ -116,6 +122,15 @@ private:
   std::string Dir;
   ArtifactCacheStats Stats;
 };
+
+/// Builds (or reuses) the shared compiled bundle for a successful
+/// generation without touching the disk: returns G.Compiled when the
+/// generator or a cache store already produced one, otherwise compiles a
+/// fresh self-contained bundle from G's plan (and storage layout when
+/// \p WithStorage). This is how concurrent incremental sessions obtain the
+/// one immutable CompiledPlan they all borrow.
+std::shared_ptr<const CompiledArtifact>
+compileArtifact(const GeneratedEvaluator &G, bool WithStorage = true);
 
 } // namespace fnc2
 

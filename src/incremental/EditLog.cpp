@@ -1,0 +1,460 @@
+//===- incremental/EditLog.cpp --------------------------------------------===//
+
+#include "incremental/EditLog.h"
+
+#include "fnc2/ArtifactCache.h"
+#include "serialize/ArtifactFile.h"
+
+#include <algorithm>
+
+using namespace fnc2;
+using serialize::ByteReader;
+using serialize::ByteWriter;
+
+//===----------------------------------------------------------------------===//
+// Value codec
+//===----------------------------------------------------------------------===//
+
+void fnc2::encodeValue(ByteWriter &W, const Value &V) {
+  W.u8(static_cast<uint8_t>(V.kind()));
+  switch (V.kind()) {
+  case Value::Kind::Unit:
+    break;
+  case Value::Kind::Int:
+    W.u64(static_cast<uint64_t>(V.asInt()));
+    break;
+  case Value::Kind::Bool:
+    W.boolean(V.asBool());
+    break;
+  case Value::Kind::Str:
+    W.str(V.asString());
+    break;
+  case Value::Kind::List: {
+    const std::vector<Value> &L = V.asList();
+    W.u32(static_cast<uint32_t>(L.size()));
+    for (const Value &E : L)
+      encodeValue(W, E);
+    break;
+  }
+  case Value::Kind::Map: {
+    // Visible bindings only, most recent first: shadowed entries are
+    // unobservable through equality/lookup, so dropping them keeps the
+    // encoding canonical (live and resumed sessions emit identical bytes).
+    std::vector<std::pair<std::string, Value>> Entries = V.mapEntries();
+    W.u32(static_cast<uint32_t>(Entries.size()));
+    for (const auto &[Key, Bound] : Entries) {
+      W.str(Key);
+      encodeValue(W, Bound);
+    }
+    break;
+  }
+  }
+}
+
+namespace {
+
+Value decodeValueDepth(ByteReader &R, unsigned Depth) {
+  if (Depth > 64) {
+    R.fail("value nesting too deep");
+    return Value();
+  }
+  uint8_t K = R.u8();
+  switch (K) {
+  case static_cast<uint8_t>(Value::Kind::Unit):
+    return Value::unit();
+  case static_cast<uint8_t>(Value::Kind::Int):
+    return Value::ofInt(static_cast<int64_t>(R.u64()));
+  case static_cast<uint8_t>(Value::Kind::Bool):
+    return Value::ofBool(R.boolean());
+  case static_cast<uint8_t>(Value::Kind::Str):
+    return Value::ofString(R.str());
+  case static_cast<uint8_t>(Value::Kind::List): {
+    uint32_t N = R.count(1);
+    std::vector<Value> Elems;
+    Elems.reserve(N);
+    for (uint32_t I = 0; I != N && R.ok(); ++I)
+      Elems.push_back(decodeValueDepth(R, Depth + 1));
+    return R.ok() ? Value::ofList(std::move(Elems)) : Value();
+  }
+  case static_cast<uint8_t>(Value::Kind::Map): {
+    uint32_t N = R.count(5); // key length prefix + kind byte at minimum
+    std::vector<std::pair<std::string, Value>> Entries;
+    Entries.reserve(N);
+    for (uint32_t I = 0; I != N && R.ok(); ++I) {
+      std::string Key = R.str();
+      Entries.emplace_back(std::move(Key), decodeValueDepth(R, Depth + 1));
+    }
+    if (!R.ok())
+      return Value();
+    // Entries are most-recent-first; rebuilding oldest-first restores the
+    // visible order.
+    Value M = Value::emptyMap();
+    for (size_t I = Entries.size(); I != 0; --I)
+      M = M.mapInsert(Entries[I - 1].first, std::move(Entries[I - 1].second));
+    return M;
+  }
+  default:
+    R.fail("value kind byte out of range");
+    return Value();
+  }
+}
+
+} // namespace
+
+Value fnc2::decodeValue(ByteReader &R) { return decodeValueDepth(R, 0); }
+
+//===----------------------------------------------------------------------===//
+// Subtree codec and paths
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+unsigned subtreeCount(const TreeNode *N) {
+  unsigned Count = 0;
+  std::vector<const TreeNode *> Stack = {N};
+  while (!Stack.empty()) {
+    const TreeNode *X = Stack.back();
+    Stack.pop_back();
+    ++Count;
+    for (const std::unique_ptr<TreeNode> &C : X->Children)
+      Stack.push_back(C.get());
+  }
+  return Count;
+}
+
+} // namespace
+
+void fnc2::encodeSubtree(ByteWriter &W, const AttributeGrammar &AG,
+                         const TreeNode *N) {
+  W.u32(subtreeCount(N));
+  // Postorder with an explicit stack: deep list-shaped trees must not
+  // recurse.
+  std::vector<std::pair<const TreeNode *, unsigned>> Stack;
+  Stack.emplace_back(N, 0u);
+  while (!Stack.empty()) {
+    auto &[Node, NextChild] = Stack.back();
+    if (NextChild < Node->arity()) {
+      const TreeNode *C = Node->child(NextChild++);
+      Stack.emplace_back(C, 0u);
+      continue;
+    }
+    W.u32(Node->Prod);
+    if (AG.prod(Node->Prod).HasLexeme)
+      encodeValue(W, Node->Lexeme);
+    Stack.pop_back();
+  }
+}
+
+std::unique_ptr<TreeNode> fnc2::decodeSubtree(ByteReader &R, Tree &T) {
+  const AttributeGrammar &AG = T.grammar();
+  uint32_t Count = R.count(4);
+  if (!R.ok())
+    return nullptr;
+  if (Count == 0) {
+    R.fail("subtree: empty node count");
+    return nullptr;
+  }
+  std::vector<std::unique_ptr<TreeNode>> Stack;
+  for (uint32_t I = 0; I != Count; ++I) {
+    uint32_t P = R.u32();
+    if (!R.ok())
+      return nullptr;
+    if (P >= AG.numProds()) {
+      R.fail("subtree: production id out of range");
+      return nullptr;
+    }
+    const Production &Prod = AG.prod(P);
+    Value Lexeme;
+    if (Prod.HasLexeme) {
+      Lexeme = decodeValue(R);
+      if (!R.ok())
+        return nullptr;
+      if (Prod.StringLexeme ? !Lexeme.isString() : !Lexeme.isInt()) {
+        R.fail("subtree: lexeme shape mismatch for '" + Prod.Name + "'");
+        return nullptr;
+      }
+    }
+    const unsigned Arity = Prod.arity();
+    if (Stack.size() < Arity) {
+      R.fail("subtree: postorder child underflow at '" + Prod.Name + "'");
+      return nullptr;
+    }
+    for (unsigned C = 0; C != Arity; ++C)
+      if (AG.prod(Stack[Stack.size() - Arity + C]->Prod).Lhs != Prod.Rhs[C]) {
+        R.fail("subtree: child phylum mismatch under '" + Prod.Name + "'");
+        return nullptr;
+      }
+    std::vector<std::unique_ptr<TreeNode>> Kids;
+    Kids.reserve(Arity);
+    for (unsigned C = 0; C != Arity; ++C)
+      Kids.push_back(std::move(Stack[Stack.size() - Arity + C]));
+    Stack.resize(Stack.size() - Arity);
+    Stack.push_back(T.make(P, std::move(Kids), std::move(Lexeme)));
+  }
+  if (Stack.size() != 1) {
+    R.fail("subtree: postorder leaves " + std::to_string(Stack.size()) +
+           " roots");
+    return nullptr;
+  }
+  return std::move(Stack.back());
+}
+
+std::vector<uint32_t> fnc2::pathTo(const TreeNode *N) {
+  std::vector<uint32_t> Path;
+  for (; N->Parent; N = N->Parent)
+    Path.push_back(N->IndexInParent);
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}
+
+TreeNode *fnc2::resolvePath(const Tree &T, std::span<const uint32_t> Path) {
+  TreeNode *N = T.root();
+  for (uint32_t Step : Path) {
+    if (!N || Step >= N->arity())
+      return nullptr;
+    N = N->child(Step);
+  }
+  return N;
+}
+
+bool fnc2::swapCompatible(const AttributeGrammar &AG, ProdId A, ProdId B) {
+  if (A == B || A >= AG.numProds() || B >= AG.numProds())
+    return false;
+  const Production &PA = AG.prod(A);
+  const Production &PB = AG.prod(B);
+  return PA.Lhs == PB.Lhs && PA.Rhs == PB.Rhs &&
+         PA.HasLexeme == PB.HasLexeme && PA.StringLexeme == PB.StringLexeme;
+}
+
+//===----------------------------------------------------------------------===//
+// EditLog
+//===----------------------------------------------------------------------===//
+
+EditOp EditLog::makeReplace(const AttributeGrammar &AG, const TreeNode *Victim,
+                            const TreeNode *Replacement) {
+  EditOp Op;
+  Op.K = EditOp::Kind::SubtreeReplace;
+  Op.Path = pathTo(Victim);
+  ByteWriter W;
+  encodeSubtree(W, AG, Replacement);
+  Op.Subtree = W.take();
+  return Op;
+}
+
+EditOp EditLog::makeLeafChange(const TreeNode *Victim, Value NewLexeme) {
+  EditOp Op;
+  Op.K = EditOp::Kind::LeafValueChange;
+  Op.Path = pathTo(Victim);
+  Op.NewLexeme = std::move(NewLexeme);
+  return Op;
+}
+
+EditOp EditLog::makeSwap(const TreeNode *Victim, ProdId NewProd) {
+  EditOp Op;
+  Op.K = EditOp::Kind::ProductionSwap;
+  Op.Path = pathTo(Victim);
+  Op.NewProd = NewProd;
+  return Op;
+}
+
+namespace {
+
+/// Rebuilds \p Old under \p NewProd without any evaluator bookkeeping (the
+/// structural twin of IncrementalEvaluator::swapProduction).
+void structuralSwap(Tree &T, TreeNode *Old, ProdId NewProd) {
+  std::vector<std::unique_ptr<TreeNode>> Kids = std::move(Old->Children);
+  Old->Children.clear();
+  std::unique_ptr<TreeNode> New = T.make(NewProd, std::move(Kids), Old->Lexeme);
+  T.replaceSubtree(Old, std::move(New));
+}
+
+} // namespace
+
+bool EditLog::apply(size_t I, Tree &T, IncrementalEvaluator *IE,
+                    DiagnosticEngine &Diags) const {
+  const AttributeGrammar &AG = T.grammar();
+  const EditOp &Op = Ops[I];
+  auto Fail = [&](const std::string &Why) {
+    Diags.error("edit " + std::to_string(I) + ": " + Why);
+    return false;
+  };
+  TreeNode *Victim = resolvePath(T, Op.Path);
+  if (!Victim)
+    return Fail("path does not resolve in the current tree");
+
+  switch (Op.K) {
+  case EditOp::Kind::SubtreeReplace: {
+    ByteReader R(Op.Subtree);
+    std::unique_ptr<TreeNode> New = decodeSubtree(R, T);
+    if (!New || R.remaining() != 0)
+      return Fail(R.ok() ? "malformed replacement subtree" : R.error());
+    if (AG.prod(New->Prod).Lhs != AG.prod(Victim->Prod).Lhs)
+      return Fail("replacement changes the phylum");
+    if (IE)
+      IE->replaceSubtree(T, Victim, std::move(New));
+    else
+      T.replaceSubtree(Victim, std::move(New));
+    return true;
+  }
+  case EditOp::Kind::LeafValueChange: {
+    const Production &P = AG.prod(Victim->Prod);
+    if (!P.HasLexeme)
+      return Fail("leaf value change at '" + P.Name + "', which has no lexeme");
+    if (P.StringLexeme ? !Op.NewLexeme.isString() : !Op.NewLexeme.isInt())
+      return Fail("lexeme shape mismatch for '" + P.Name + "'");
+    if (IE)
+      IE->changeLeafValue(T, Victim, Op.NewLexeme);
+    else
+      Victim->Lexeme = Op.NewLexeme;
+    return true;
+  }
+  case EditOp::Kind::ProductionSwap: {
+    if (!swapCompatible(AG, Victim->Prod, Op.NewProd))
+      return Fail("incompatible production swap at '" +
+                  AG.prod(Victim->Prod).Name + "'");
+    if (IE)
+      IE->swapProduction(T, Victim, Op.NewProd);
+    else
+      structuralSwap(T, Victim, Op.NewProd);
+    return true;
+  }
+  }
+  return Fail("unknown edit kind");
+}
+
+void EditLog::encode(ByteWriter &W) const {
+  W.u32(static_cast<uint32_t>(Ops.size()));
+  for (const EditOp &Op : Ops) {
+    W.u8(static_cast<uint8_t>(Op.K));
+    W.u32(static_cast<uint32_t>(Op.Path.size()));
+    for (uint32_t Step : Op.Path)
+      W.u32(Step);
+    switch (Op.K) {
+    case EditOp::Kind::SubtreeReplace:
+      // Self-delimiting (count-prefixed postorder), so no length prefix.
+      W.raw(Op.Subtree.data(), Op.Subtree.size());
+      break;
+    case EditOp::Kind::LeafValueChange:
+      encodeValue(W, Op.NewLexeme);
+      break;
+    case EditOp::Kind::ProductionSwap:
+      W.u32(Op.NewProd);
+      break;
+    }
+  }
+}
+
+bool EditLog::decode(ByteReader &R, const AttributeGrammar &AG, EditLog &Out) {
+  uint32_t N = R.count(2);
+  std::vector<EditOp> Ops;
+  Ops.reserve(N);
+  Tree Scratch(AG); // replacement subtrees decode (and validate) against it
+  for (uint32_t I = 0; I != N && R.ok(); ++I) {
+    EditOp Op;
+    uint8_t K = R.u8();
+    if (!R.ok())
+      break;
+    if (K > static_cast<uint8_t>(EditOp::Kind::ProductionSwap)) {
+      R.fail("op kind byte out of range");
+      break;
+    }
+    Op.K = static_cast<EditOp::Kind>(K);
+    uint32_t PathLen = R.count(4);
+    Op.Path.reserve(PathLen);
+    for (uint32_t S = 0; S != PathLen && R.ok(); ++S)
+      Op.Path.push_back(R.u32());
+    switch (Op.K) {
+    case EditOp::Kind::SubtreeReplace: {
+      // Decode for validation, then re-encode canonically: the blob is a
+      // pure function of the structure, so round trips are byte-stable.
+      std::unique_ptr<TreeNode> Node = decodeSubtree(R, Scratch);
+      if (!Node)
+        break;
+      ByteWriter SW;
+      encodeSubtree(SW, AG, Node.get());
+      Op.Subtree = SW.take();
+      break;
+    }
+    case EditOp::Kind::LeafValueChange:
+      Op.NewLexeme = decodeValue(R);
+      if (R.ok() && !Op.NewLexeme.isInt() && !Op.NewLexeme.isString())
+        R.fail("lexeme value must be an integer or a string");
+      break;
+    case EditOp::Kind::ProductionSwap:
+      Op.NewProd = R.u32();
+      if (R.ok() && Op.NewProd >= AG.numProds())
+        R.fail("swap production id out of range");
+      break;
+    }
+    Ops.push_back(std::move(Op));
+  }
+  if (!R.ok())
+    return false;
+  Out.Ops = std::move(Ops);
+  return true;
+}
+
+namespace {
+
+constexpr uint32_t SecLogMeta = 1;
+constexpr uint32_t SecLogOps = 2;
+
+} // namespace
+
+uint64_t EditLog::fileKey(const AttributeGrammar &AG) {
+  // Grammar hash salted with a log tag, so a log file, a session file and a
+  // generator artifact for the same grammar can never be confused.
+  return ArtifactCache::grammarKey(AG) ^ 0xED17106ED17106EDull;
+}
+
+std::vector<uint8_t> EditLog::encodeFile(const AttributeGrammar &AG) const {
+  serialize::ArtifactWriter W(fileKey(AG));
+  ByteWriter &M = W.section(SecLogMeta);
+  M.str(AG.Name);
+  M.u32(static_cast<uint32_t>(Ops.size()));
+  encode(W.section(SecLogOps));
+  return W.finish();
+}
+
+bool EditLog::decodeFile(std::span<const uint8_t> Bytes,
+                         const AttributeGrammar &AG, EditLog &Out,
+                         std::string &Reason) {
+  serialize::ArtifactReader File;
+  if (!File.open(Bytes, fileKey(AG), Reason))
+    return false;
+  for (uint32_t Sec : {SecLogMeta, SecLogOps})
+    if (!File.hasSection(Sec)) {
+      Reason = "log: missing section " + std::to_string(Sec);
+      return false;
+    }
+
+  ByteReader M = File.section(SecLogMeta);
+  std::string Name = M.str();
+  uint32_t Count = M.u32();
+  if (!M.ok() || M.remaining() != 0) {
+    Reason = "log: malformed meta section";
+    return false;
+  }
+  if (Name != AG.Name) {
+    Reason = "log: grammar name mismatch ('" + Name + "' vs '" + AG.Name +
+             "')";
+    return false;
+  }
+
+  ByteReader R = File.section(SecLogOps);
+  EditLog Scratch;
+  if (!decode(R, AG, Scratch)) {
+    Reason = "log: " + (R.ok() ? std::string("invalid op stream") : R.error());
+    return false;
+  }
+  if (R.remaining() != 0) {
+    Reason = "log: trailing bytes after op stream";
+    return false;
+  }
+  if (Scratch.size() != Count) {
+    Reason = "log: op count disagrees with meta";
+    return false;
+  }
+  Out = std::move(Scratch);
+  return true;
+}

@@ -1,0 +1,158 @@
+//===- incremental/EditLog.h - Replayable tree-edit streams -----*- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The edit-log subsystem behind editor-style incremental sessions: a
+/// compact, append-only, replayable stream of tree edits. Three edit kinds
+/// cover what a structure editor produces:
+///
+///  * SubtreeReplace — a node is replaced by a freshly built subtree of the
+///    same phylum (the classic incremental-evaluation edit);
+///  * LeafValueChange — a leaf operator's lexeme is changed in place;
+///  * ProductionSwap — the operator applied at a node is exchanged for one
+///    with the identical signature (same LHS, same RHS phyla, same lexeme
+///    shape), keeping the children.
+///
+/// Edits address nodes by their child-index path from the root, so a log is
+/// meaningful only against the tree state its edits were recorded on — each
+/// op is generated against, and must be applied to, the tree produced by
+/// its predecessors. Replay drives either an IncrementalEvaluator (dirty
+/// marks, cutoffs, stats) or the bare tree (structural replay, used when
+/// generating scripts without attribution).
+///
+/// Logs serialize through the serialize/ substrate: a ByteWriter/ByteReader
+/// op stream inside the standard artifact container (per-section CRCs),
+/// keyed by a hash of the grammar so a log can never be replayed against
+/// the wrong language. Every decode validates ids, arities and lexeme
+/// shapes against the live grammar; corrupted input is rejected with a
+/// reason, never trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_INCREMENTAL_EDITLOG_H
+#define FNC2_INCREMENTAL_EDITLOG_H
+
+#include "incremental/Incremental.h"
+#include "serialize/Serialize.h"
+#include "tree/Tree.h"
+
+namespace fnc2 {
+
+//===----------------------------------------------------------------------===//
+// Shared value / subtree codecs (also used by session persistence)
+//===----------------------------------------------------------------------===//
+
+/// Encodes a Value structurally: kind byte, then the payload. Maps encode
+/// their visible bindings in mapEntries() order (most recent first) and are
+/// rebuilt by inserting in reverse, so the visible environment — the only
+/// part equality and lookup observe — round-trips exactly.
+void encodeValue(serialize::ByteWriter &W, const Value &V);
+
+/// Decodes a Value; latches \p R on malformed kinds or excessive nesting.
+Value decodeValue(serialize::ByteReader &R);
+
+/// Encodes the subtree rooted at \p N: a node count, then the nodes in
+/// postorder as (production id, lexeme value if the production has one).
+/// Arity is implied by the production, so decode rebuilds bottom-up.
+void encodeSubtree(serialize::ByteWriter &W, const AttributeGrammar &AG,
+                   const TreeNode *N);
+
+/// Decodes a subtree into \p T's arena, validating every production id,
+/// child phylum and lexeme shape against T's grammar. Returns null (with
+/// \p R latched) on any violation.
+std::unique_ptr<TreeNode> decodeSubtree(serialize::ByteReader &R, Tree &T);
+
+/// The child-index path from the root to \p N (empty for the root itself).
+std::vector<uint32_t> pathTo(const TreeNode *N);
+
+/// Resolves a child-index path against \p T; null when it falls off the
+/// tree.
+TreeNode *resolvePath(const Tree &T, std::span<const uint32_t> Path);
+
+//===----------------------------------------------------------------------===//
+// EditOp / EditLog
+//===----------------------------------------------------------------------===//
+
+/// One recorded edit. The payload member used depends on the kind; the
+/// replacement subtree is kept in its structural encoding (the op is a
+/// value type independent of any tree's lifetime).
+struct EditOp {
+  enum class Kind : uint8_t {
+    SubtreeReplace = 0,
+    LeafValueChange = 1,
+    ProductionSwap = 2,
+  };
+
+  Kind K = Kind::SubtreeReplace;
+  std::vector<uint32_t> Path;   ///< Child indices from the root.
+  std::vector<uint8_t> Subtree; ///< SubtreeReplace: encodeSubtree() bytes.
+  Value NewLexeme;              ///< LeafValueChange.
+  ProdId NewProd = InvalidId;   ///< ProductionSwap.
+};
+
+/// True when \p A and \p B are exchangeable by a ProductionSwap: distinct
+/// productions with the same LHS, the same RHS phylum vector and the same
+/// lexeme declaration.
+bool swapCompatible(const AttributeGrammar &AG, ProdId A, ProdId B);
+
+/// An append-only stream of edits over trees of one grammar.
+class EditLog {
+public:
+  size_t size() const { return Ops.size(); }
+  bool empty() const { return Ops.empty(); }
+  const EditOp &op(size_t I) const { return Ops[I]; }
+
+  /// Appends \p Op; returns its index.
+  size_t append(EditOp Op) {
+    Ops.push_back(std::move(Op));
+    return Ops.size() - 1;
+  }
+
+  /// Drops ops from the tail, down to \p NewSize. The one sanctioned use
+  /// is rolling back an append whose op apply() then rejected, preserving
+  /// the invariant that a session's log holds exactly the applied edits.
+  void truncate(size_t NewSize) {
+    assert(NewSize <= Ops.size() && "truncate cannot grow a log");
+    Ops.resize(NewSize);
+  }
+
+  /// Builds a SubtreeReplace op for \p Victim (a node of a live tree) from
+  /// \p Replacement, which is encoded into the op and not retained.
+  static EditOp makeReplace(const AttributeGrammar &AG, const TreeNode *Victim,
+                            const TreeNode *Replacement);
+  static EditOp makeLeafChange(const TreeNode *Victim, Value NewLexeme);
+  static EditOp makeSwap(const TreeNode *Victim, ProdId NewProd);
+
+  /// Applies op \p I to \p T: through \p IE when non-null (edit recording,
+  /// dirty marks — the caller still runs IE->update()), structurally
+  /// otherwise. Returns false through \p Diags when the op does not fit the
+  /// tree (unresolvable path, phylum mismatch, incompatible swap).
+  bool apply(size_t I, Tree &T, IncrementalEvaluator *IE,
+             DiagnosticEngine &Diags) const;
+
+  /// Raw op-stream codec (the session file embeds a log as one section).
+  void encode(serialize::ByteWriter &W) const;
+  static bool decode(serialize::ByteReader &R, const AttributeGrammar &AG,
+                     EditLog &Out);
+
+  /// Standalone log file: the artifact container (CRC-stamped sections)
+  /// keyed by the grammar hash, so byte flips, truncations and wrong-
+  /// grammar loads are all rejected with a reason.
+  std::vector<uint8_t> encodeFile(const AttributeGrammar &AG) const;
+  static bool decodeFile(std::span<const uint8_t> Bytes,
+                         const AttributeGrammar &AG, EditLog &Out,
+                         std::string &Reason);
+
+  /// The container key a log file for \p AG carries.
+  static uint64_t fileKey(const AttributeGrammar &AG);
+
+private:
+  std::vector<EditOp> Ops;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_INCREMENTAL_EDITLOG_H

@@ -21,6 +21,7 @@ bool IncrementalEvaluator::initial(Tree &T, DiagnosticEngine &Diags) {
   FNC2_SPAN("inc.initial");
   Dirty.clear();
   EditSites.clear();
+  LexemeChanged.clear();
   Changed.clear();
   WriteClock = 0;
   LastWrite.clear();
@@ -40,6 +41,48 @@ IncrementalEvaluator::replaceSubtree(Tree &T, TreeNode *Old,
   return Detached;
 }
 
+void IncrementalEvaluator::changeLeafValue(Tree &T, TreeNode *N,
+                                           Value NewLexeme) {
+  (void)T;
+  assert(Plan.AG->prod(N->Prod).HasLexeme && "node has no lexeme slot");
+  N->Lexeme = std::move(NewLexeme);
+  LexemeChanged.insert(N);
+  EditSites.push_back(N);
+  for (const TreeNode *A = N; A; A = A->Parent)
+    Dirty.insert(A);
+}
+
+TreeNode *IncrementalEvaluator::swapProduction(Tree &T, TreeNode *Old,
+                                               ProdId NewProd) {
+  const AttributeGrammar &AG = *Plan.AG;
+  assert(AG.prod(Old->Prod).Lhs == AG.prod(NewProd).Lhs &&
+         AG.prod(Old->Prod).Rhs == AG.prod(NewProd).Rhs &&
+         "production swap changes the signature");
+  std::vector<std::unique_ptr<TreeNode>> Kids = std::move(Old->Children);
+  Old->Children.clear();
+  std::unique_ptr<TreeNode> New = T.make(NewProd, std::move(Kids), Old->Lexeme);
+  New->PartitionId = Old->PartitionId; // same phylum, same context protocol
+  TreeNode *NewRaw = New.get();
+  T.replaceSubtree(Old, std::move(New));
+
+  // The kept children carry full attribution, but the new production's
+  // rules may define their inherited occurrences differently; with the
+  // computed bits still set those rules would be skipped as "target
+  // computed, arguments unchanged". Clearing the bits forces the rules to
+  // run; equality cutoffs then bound the propagation into the children.
+  for (const std::unique_ptr<TreeNode> &C : NewRaw->Children) {
+    if (!C->hasFrame())
+      continue;
+    for (const SlotAttr &IA : CP->InhByPhylum[AG.prod(C->Prod).Lhs])
+      C->clearSlotComputed(IA.Slot);
+  }
+
+  EditSites.push_back(NewRaw);
+  for (const TreeNode *A = NewRaw; A; A = A->Parent)
+    Dirty.insert(A);
+  return NewRaw;
+}
+
 bool IncrementalEvaluator::isChanged(const TreeNode *Site,
                                      unsigned Slot) const {
   auto It = Changed.find(Site);
@@ -55,8 +98,10 @@ void IncrementalEvaluator::markChanged(const TreeNode *Site, unsigned Slot,
 }
 
 bool IncrementalEvaluator::argChanged(TreeNode *N, const SlotRef &Ref) const {
+  // A lexeme reference always reads the node the rule executes at; it is
+  // "changed" exactly when that node's lexeme was edited in place.
   if (Ref.Kind == SlotRef::K::Lexeme)
-    return false;
+    return LexemeChanged.count(N) != 0;
   const TreeNode *Site =
       Ref.Kind == SlotRef::K::Self ? N : N->child(Ref.Child);
   return isChanged(Site, Ref.Slot);
@@ -67,10 +112,10 @@ bool IncrementalEvaluator::execEvalIncremental(TreeNode *N,
                                                uint32_t NumRules,
                                                DiagnosticEngine &Diags) {
   for (uint32_t K = 0; K != NumRules; ++K) {
-    const CompiledRule &R = CP.Rules[FirstRule + K];
+    const CompiledRule &R = CP->Rules[FirstRule + K];
     const SlotRef &T = R.Target;
     TreeNode *Site = T.Kind == SlotRef::K::Self ? N : N->child(T.Child);
-    CP.ensureFrame(Site);
+    CP->ensureFrame(Site);
 
     // The target's slot exists, so ensureFrame allocated a frame.
     bool TargetComputed = Site->slotComputed(T.Slot);
@@ -78,7 +123,7 @@ bool IncrementalEvaluator::execEvalIncremental(TreeNode *N,
     // Cutoff: nothing relevant changed and the old value exists.
     bool AnyArgChanged = false;
     for (unsigned I = 0; I != R.NumArgs; ++I)
-      AnyArgChanged |= argChanged(N, CP.Args[R.FirstArg + I]);
+      AnyArgChanged |= argChanged(N, CP->Args[R.FirstArg + I]);
     if (TargetComputed && !AnyArgChanged) {
       ++Stats.RulesSkipped;
       FNC2_COUNT("inc.rules_skipped", 1);
@@ -94,7 +139,7 @@ bool IncrementalEvaluator::execEvalIncremental(TreeNode *N,
     }
     Value *Buf = ArgBuf.data();
     for (unsigned I = 0; I != R.NumArgs; ++I) {
-      const SlotRef &Ref = CP.Args[R.FirstArg + I];
+      const SlotRef &Ref = CP->Args[R.FirstArg + I];
       switch (Ref.Kind) {
       case SlotRef::K::Self:
         Buf[I] = N->Slots[Ref.Slot];
@@ -116,7 +161,7 @@ bool IncrementalEvaluator::execEvalIncremental(TreeNode *N,
       FNC2_COUNT("inc.values_unchanged", 1);
       continue;
     }
-    const FrameShape &F = CP.frameOf(Site->Prod);
+    const FrameShape &F = CP->frameOf(Site->Prod);
     markChanged(Site, T.Slot, unsigned(F.NumAttrs) + F.NumLocals);
     LastWrite[Site] = ++WriteClock;
     Site->Slots[T.Slot] = std::move(NewVal);
@@ -128,12 +173,12 @@ bool IncrementalEvaluator::execEvalIncremental(TreeNode *N,
 bool IncrementalEvaluator::revisit(TreeNode *N, const CompiledSeq *Seq,
                                    unsigned VisitNo,
                                    DiagnosticEngine &Diags) {
-  CP.ensureFrame(N);
+  CP->ensureFrame(N);
   ++Stats.VisitsPerformed;
   FNC2_SPAN("inc.visit");
 
   const CompiledInstr *I =
-      &CP.Instrs[Seq->FirstInstr + CP.BeginOfs[Seq->FirstBegin + VisitNo - 1]];
+      &CP->Instrs[Seq->FirstInstr + CP->BeginOfs[Seq->FirstBegin + VisitNo - 1]];
   for (;; ++I) {
     switch (I->Kind) {
     case CompiledInstr::Op::Eval:
@@ -149,7 +194,7 @@ bool IncrementalEvaluator::revisit(TreeNode *N, const CompiledSeq *Seq,
       bool MustDescend = subtreeDirty(Child) || Fresh;
       if (!MustDescend) {
         const PhylumId Ph = Plan.AG->prod(Child->Prod).Lhs;
-        for (const SlotAttr &IA : CP.InhByPhylum[Ph])
+        for (const SlotAttr &IA : CP->InhByPhylum[Ph])
           if (isChanged(Child, IA.Slot)) {
             MustDescend = true;
             break;
@@ -173,7 +218,7 @@ bool IncrementalEvaluator::revisit(TreeNode *N, const CompiledSeq *Seq,
       }
       if (MustDescend) {
         Child->PartitionId = I->A;
-        const CompiledSeq *ChildSeq = CP.seqForNode(Child);
+        const CompiledSeq *ChildSeq = CP->seqForNode(Child);
         if (!ChildSeq) {
           Diags.error("no visit sequence for operator '" +
                       Plan.AG->prod(Child->Prod).Name +
@@ -200,7 +245,7 @@ bool IncrementalEvaluator::revisit(TreeNode *N, const CompiledSeq *Seq,
 }
 
 bool IncrementalEvaluator::revisitAll(TreeNode *N, DiagnosticEngine &Diags) {
-  const CompiledSeq *Seq = CP.seqForNode(N);
+  const CompiledSeq *Seq = CP->seqForNode(N);
   if (!Seq) {
     Diags.error("no visit sequence during incremental update");
     return false;
@@ -236,7 +281,7 @@ bool IncrementalEvaluator::update(Tree &T, DiagnosticEngine &Diags,
         // Did any synthesized attribute of N change? If not, the context
         // cannot observe the edit: stop climbing.
         bool SynChanged = false;
-        for (const SlotAttr &SA : CP.SynByPhylum[AG.prod(N->Prod).Lhs])
+        for (const SlotAttr &SA : CP->SynByPhylum[AG.prod(N->Prod).Lhs])
           if (isChanged(N, SA.Slot))
             SynChanged = true;
         if (!SynChanged || !N->Parent)
@@ -251,6 +296,7 @@ bool IncrementalEvaluator::update(Tree &T, DiagnosticEngine &Diags,
   if (Ok) {
     Dirty.clear();
     EditSites.clear();
+    LexemeChanged.clear();
   }
   return Ok;
 }

@@ -7,8 +7,9 @@
 /// \file
 /// The incremental attribute evaluator (paper section 2.1.2): an exhaustive
 /// visit-sequence evaluator extended with *semantic control* that limits
-/// reevaluation to affected instances. After one or more subtree
-/// replacements, update() re-runs visit sequences with two cutoffs:
+/// reevaluation to affected instances. After one or more edits (subtree
+/// replacement, in-place leaf value change, production swap), update()
+/// re-runs visit sequences with two cutoffs:
 ///
 ///  * an EVAL whose arguments are all unchanged is skipped entirely;
 ///  * a VISIT descends only into sons whose subtree contains an edit or
@@ -66,9 +67,19 @@ enum class UpdateStrategy : uint8_t { FromRoot, StartAnywhere };
 /// Incremental evaluator over tree-resident attributes.
 class IncrementalEvaluator {
 public:
+  /// Compiles the plan privately.
   explicit IncrementalEvaluator(const EvaluationPlan &Plan)
-      : Plan(Plan), CP(Plan), Exhaustive(Plan, CP) {
-    ArgBuf.resize(CP.MaxRuleArgs);
+      : Plan(Plan), OwnedCP(std::make_unique<CompiledPlan>(Plan)),
+        CP(OwnedCP.get()), Exhaustive(Plan, *CP) {
+    ArgBuf.resize(CP->MaxRuleArgs);
+  }
+
+  /// Borrows an already-compiled plan: concurrent sessions share one
+  /// immutable CompiledPlan and keep only per-session frames and marks.
+  /// \p Compiled must outlive the evaluator and stem from \p Plan.
+  IncrementalEvaluator(const EvaluationPlan &Plan, const CompiledPlan &Compiled)
+      : Plan(Plan), CP(&Compiled), Exhaustive(Plan, Compiled) {
+    ArgBuf.resize(CP->MaxRuleArgs);
   }
 
   void setRootInherited(AttrId A, Value V) {
@@ -90,6 +101,20 @@ public:
   /// old subtree. Several edits may precede one update().
   std::unique_ptr<TreeNode> replaceSubtree(Tree &T, TreeNode *Old,
                                            std::unique_ptr<TreeNode> New);
+
+  /// In-place lexeme change of a leaf operator. The lexeme has no changed
+  /// mark of its own (it is not an attribute slot), so the node is recorded
+  /// in a lexeme-changed set that argChanged() consults — without it the
+  /// EVAL cutoff would silently skip every rule reading the new lexeme.
+  void changeLeafValue(Tree &T, TreeNode *N, Value NewLexeme);
+
+  /// Swaps the production applied at \p Old for \p NewProd (same LHS, same
+  /// RHS phylum signature, same lexeme shape), keeping the children and
+  /// their attribution. The kept children's inherited slots are force-
+  /// cleared: the new production's rules may define them with different
+  /// functions, and their old values being "computed" would otherwise
+  /// satisfy the EVAL cutoff. Returns the new node.
+  TreeNode *swapProduction(Tree &T, TreeNode *Old, ProdId NewProd);
 
   /// Re-establishes consistency after the recorded edits.
   bool update(Tree &T, DiagnosticEngine &Diags,
@@ -117,10 +142,17 @@ private:
     return Equal ? Equal(A, B) : A.equals(B);
   }
 
+  /// Session persistence serializes the stamp maps below through a
+  /// canonical preorder encoding (incremental/Session.cpp).
+  friend class IncrementalSession;
+
   const EvaluationPlan &Plan;
-  /// Compiled once here and shared with the embedded exhaustive evaluator,
-  /// so initial() and update() maintain the same per-node sequence caches.
-  CompiledPlan CP;
+  /// Owned when compiled privately, null when borrowing a shared plan; CP
+  /// always points at the plan in use, which the embedded exhaustive
+  /// evaluator borrows too, so initial() and update() maintain the same
+  /// per-node sequence caches.
+  std::unique_ptr<const CompiledPlan> OwnedCP;
+  const CompiledPlan *CP;
   Evaluator Exhaustive;
   IncrementalStats Stats;
   std::function<bool(const Value &, const Value &)> Equal;
@@ -131,6 +163,9 @@ private:
   std::unordered_set<const TreeNode *> Dirty;
   /// Edit roots recorded since the last update.
   std::vector<TreeNode *> EditSites;
+  /// Leaves whose lexeme was changed in place since the last update;
+  /// argChanged() reports their lexeme references as changed.
+  std::unordered_set<const TreeNode *> LexemeChanged;
   /// Attribute-changed marks for the current update (per node bitset);
   /// locals are tracked after the attributes.
   std::unordered_map<const TreeNode *, std::vector<uint8_t>> Changed;

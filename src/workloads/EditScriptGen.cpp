@@ -1,0 +1,98 @@
+//===- workloads/EditScriptGen.cpp ----------------------------------------===//
+
+#include "workloads/EditScriptGen.h"
+
+#include "support/Diagnostics.h"
+
+using namespace fnc2;
+
+EditScriptGen::EditScriptGen(const AttributeGrammar &AG,
+                             EditScriptOptions Opts)
+    : AG(AG), Opts(Opts), State(Opts.Seed ? Opts.Seed : 0x9e3779b97f4a7c15ULL),
+      Gen(AG, Opts.Seed ^ 0xA5A5A5A5A5A5A5A5ULL) {
+  SwapAlts.resize(AG.numProds());
+  for (ProdId A = 0; A != AG.numProds(); ++A)
+    for (ProdId B = 0; B != AG.numProds(); ++B)
+      if (swapCompatible(AG, A, B))
+        SwapAlts[A].push_back(B);
+}
+
+uint64_t EditScriptGen::nextRand() {
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return State * 0x2545F4914F6CDD1DULL;
+}
+
+EditOp EditScriptGen::next(Tree &T) {
+  // One iterative postorder pass: subtree sizes plus the candidate victim
+  // lists of every edit kind. Walk order is deterministic, so candidate
+  // indices (and therefore the whole script) depend only on the seed.
+  std::vector<std::pair<TreeNode *, unsigned>> Work = {{T.root(), 0u}};
+  std::vector<TreeNode *> Replaceable, Leaves, Swappable;
+  std::unordered_map<const TreeNode *, unsigned> Size;
+  while (!Work.empty()) {
+    auto &[N, Next] = Work.back();
+    if (Next < N->arity()) {
+      Work.emplace_back(N->child(Next++), 0u);
+      continue;
+    }
+    unsigned S = 1;
+    for (unsigned I = 0; I != N->arity(); ++I)
+      S += Size[N->child(I)];
+    Size[N] = S;
+    if (N->Parent && S <= Opts.MaxVictimSize)
+      Replaceable.push_back(N);
+    if (AG.prod(N->Prod).HasLexeme)
+      Leaves.push_back(N);
+    if (!SwapAlts[N->Prod].empty())
+      Swappable.push_back(N);
+    Work.pop_back();
+  }
+
+  // Weighted kind choice among the kinds that actually have candidates.
+  unsigned WR = Replaceable.empty() ? 0 : Opts.ReplaceWeight;
+  unsigned WL = Leaves.empty() ? 0 : Opts.LeafWeight;
+  unsigned WS = Swappable.empty() ? 0 : Opts.SwapWeight;
+  assert(WR + WL + WS != 0 && "tree admits no edits at all");
+  uint64_t Pick = nextRand() % (WR + WL + WS);
+
+  if (Pick < WR) {
+    TreeNode *Victim = Replaceable[nextRand() % Replaceable.size()];
+    // Grow a fresh local replacement of the same phylum, sized like the
+    // victim give or take (1..MaxVictimSize keeps the edit region bounded).
+    unsigned Budget = 1 + unsigned(nextRand() % Opts.MaxVictimSize);
+    std::unique_ptr<TreeNode> Replacement =
+        Gen.generateNode(T, AG.prod(Victim->Prod).Lhs, Budget);
+    return EditLog::makeReplace(AG, Victim, Replacement.get());
+  }
+  if (Pick < WR + WL) {
+    TreeNode *Victim = Leaves[nextRand() % Leaves.size()];
+    Value NewLexeme;
+    if (AG.prod(Victim->Prod).StringLexeme) {
+      // Same identifier pool as TreeGenerator, so edited trees stay in
+      // the workloads' name distribution.
+      static const char *const Names[] = {"a", "b", "c", "d", "e",
+                                          "f", "g", "h", "i", "j"};
+      NewLexeme = Value::ofString(Names[nextRand() % 10]);
+    } else {
+      NewLexeme = Value::ofInt(static_cast<int64_t>(nextRand() % 1000));
+    }
+    return EditLog::makeLeafChange(Victim, std::move(NewLexeme));
+  }
+  TreeNode *Victim = Swappable[nextRand() % Swappable.size()];
+  const std::vector<ProdId> &Alts = SwapAlts[Victim->Prod];
+  return EditLog::makeSwap(Victim, Alts[nextRand() % Alts.size()]);
+}
+
+EditLog EditScriptGen::generate(Tree &T, unsigned NumEdits) {
+  EditLog Log;
+  DiagnosticEngine Diags;
+  for (unsigned I = 0; I != NumEdits; ++I) {
+    size_t Idx = Log.append(next(T));
+    bool Ok = Log.apply(Idx, T, nullptr, Diags);
+    (void)Ok;
+    assert(Ok && "generated op failed to apply structurally");
+  }
+  return Log;
+}

@@ -1,0 +1,72 @@
+//===- workloads/EditScriptGen.h - Random edit-session generator *- C++ -*-===//
+//
+// Part of fnc2cpp, a reproduction of the FNC-2 attribute grammar system.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generation of long editor-style sessions over any grammar: a
+/// stream of EditOps (subtree replacements, in-place leaf value changes,
+/// production swaps) each built against the tree state its predecessors
+/// produced, exactly as EditLog replay expects. Fully deterministic in the
+/// seed — the same seed over the same starting tree yields a byte-identical
+/// log, which the determinism test and the golden corpus pin.
+///
+/// Edits are local by construction (replaced subtrees are bounded by
+/// MaxVictimSize), so a session's affected regions stay small relative to
+/// the tree and the proportional-work assertions have teeth at 100k nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FNC2_WORKLOADS_EDITSCRIPTGEN_H
+#define FNC2_WORKLOADS_EDITSCRIPTGEN_H
+
+#include "incremental/EditLog.h"
+#include "tree/TreeGen.h"
+
+namespace fnc2 {
+
+struct EditScriptOptions {
+  uint64_t Seed = 1;
+  /// Upper bound on the node count of a replaced subtree and of the
+  /// replacement grown for it — the knob that keeps edits local.
+  unsigned MaxVictimSize = 24;
+  /// Relative frequencies of the three edit kinds (a kind with no
+  /// candidates in the current tree cedes its turns to the others).
+  unsigned ReplaceWeight = 6;
+  unsigned LeafWeight = 3;
+  unsigned SwapWeight = 1;
+};
+
+/// Generates randomized edit scripts; one instance drives one session.
+class EditScriptGen {
+public:
+  explicit EditScriptGen(const AttributeGrammar &AG,
+                         EditScriptOptions Opts = {});
+
+  /// Builds the next op against the current state of \p T without applying
+  /// it (replacement subtrees are grown in \p T's arena and then encoded
+  /// into the op, not attached).
+  EditOp next(Tree &T);
+
+  /// Generates \p NumEdits ops, applying each structurally to \p T as it
+  /// goes (no attribution), and returns the log. \p T afterwards is the
+  /// final tree of the session — the state a replay from the original tree
+  /// must reproduce.
+  EditLog generate(Tree &T, unsigned NumEdits);
+
+private:
+  uint64_t nextRand();
+
+  const AttributeGrammar &AG;
+  EditScriptOptions Opts;
+  uint64_t State;
+  TreeGenerator Gen;
+  /// Per production: the distinct productions a ProductionSwap may
+  /// exchange it for (same LHS, RHS and lexeme shape).
+  std::vector<std::vector<ProdId>> SwapAlts;
+};
+
+} // namespace fnc2
+
+#endif // FNC2_WORKLOADS_EDITSCRIPTGEN_H

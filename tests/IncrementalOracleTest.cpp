@@ -17,11 +17,15 @@
 #include "eval/Evaluator.h"
 #include "fnc2/Generator.h"
 #include "incremental/Incremental.h"
+#include "incremental/Session.h"
 #include "tree/TreeGen.h"
 #include "workloads/ClassicGrammars.h"
+#include "workloads/EditScriptGen.h"
+#include "workloads/MiniPascal.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 using namespace fnc2;
@@ -185,5 +189,107 @@ INSTANTIATE_TEST_SUITE_P(Sequences, IncrementalOracleTest,
 TEST(IncrementalOracleSuite, CoversAtLeast200EditSequences) {
   EXPECT_GE(allCases().size(), 200u);
 }
+
+//===----------------------------------------------------------------------===//
+// Large-tree session sweep
+//===----------------------------------------------------------------------===//
+//
+// The scale end of the oracle: long EditScriptGen sessions (80 mixed edits —
+// subtree replacements, leaf value changes, production swaps) over
+// multi-thousand-node trees, driven through IncrementalSession the way the
+// editor example drives it. Every K edits the full attribution is compared
+// against a from-scratch evaluation of a clone, and at the end the per-edit
+// reevaluation counts must show proportional work: the *median* edit (robust
+// to the occasional edit whose affected region legitimately is the whole
+// tree, e.g. a repmin edit that moves the global minimum) costs a small
+// fraction of a from-scratch pass.
+
+struct SessionSweepCase {
+  int GrammarIdx;
+  int StrategyIdx;
+  uint64_t Seed;
+};
+
+class LargeSessionOracleTest
+    : public ::testing::TestWithParam<SessionSweepCase> {};
+
+TEST_P(LargeSessionOracleTest, LongSessionMatchesOracleWithProportionalWork) {
+  const SessionSweepCase &P = GetParam();
+  static constexpr GrammarFactory Factories[] = {
+      workloads::deskCalculator, workloads::repmin, workloads::miniPascal};
+  DiagnosticEngine Diags;
+  AttributeGrammar AG = Factories[P.GrammarIdx](Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.dump();
+  UpdateStrategy Strategy = P.StrategyIdx == 0 ? UpdateStrategy::FromRoot
+                                               : UpdateStrategy::StartAnywhere;
+
+  DiagnosticEngine GD;
+  GeneratedEvaluator GE = generateEvaluator(AG, GD);
+  ASSERT_TRUE(GE.Success) << GD.dump();
+
+  IncrementalSession S(AG, compileArtifact(GE), Strategy);
+  TreeGenerator Gen(AG, P.Seed);
+  DiagnosticEngine D;
+  ASSERT_TRUE(S.start(Gen.generate(2500), D)) << D.dump();
+  const size_t TreeNodes = S.tree().size();
+  ASSERT_GT(TreeNodes, 1000u);
+
+  constexpr unsigned NumEdits = 80, OracleEvery = 10;
+  EditScriptGen Script(AG, {.Seed = P.Seed * 2654435761ULL + 1});
+  std::vector<uint64_t> PerEdit;
+  uint64_t FullRules = 0;
+  for (unsigned Edit = 1; Edit <= NumEdits; ++Edit) {
+    S.evaluator().resetStats();
+    ASSERT_TRUE(S.apply(Script.next(S.tree()), D))
+        << AG.Name << " edit " << Edit << ": " << D.dump();
+    PerEdit.push_back(S.stats().RulesReevaluated);
+
+    if (Edit % OracleEvery == 0) {
+      Tree Check(AG);
+      Check.setRoot(S.tree().clone(S.tree().root()));
+      Evaluator Full(GE.Plan);
+      ASSERT_TRUE(Full.evaluate(Check, D)) << D.dump();
+      FullRules = Full.stats().RulesEvaluated;
+      expectSameAttribution(AG, Check.root(), S.tree().root(),
+                            AG.Name + "/session-edit" + std::to_string(Edit));
+    }
+  }
+
+  // Proportional work at scale: the median edit of the session reevaluates
+  // a small fraction of the rules a from-scratch pass runs. (Edits are
+  // MaxVictimSize-bounded, the tree has thousands of nodes; only changed-
+  // value propagation can grow the region, and that is exactly what the
+  // cutoffs bound for the median edit.)
+  ASSERT_GT(FullRules, 0u);
+  std::vector<uint64_t> Sorted = PerEdit;
+  std::sort(Sorted.begin(), Sorted.end());
+  uint64_t Median = Sorted[Sorted.size() / 2];
+  EXPECT_LT(Median * 3, FullRules)
+      << AG.Name << ": median per-edit reevaluation " << Median
+      << " is not small against a from-scratch pass of " << FullRules
+      << " rules on a " << TreeNodes << "-node tree";
+  // And the session log recorded exactly the applied edits.
+  EXPECT_EQ(S.log().size(), size_t(NumEdits));
+}
+
+std::vector<SessionSweepCase> sweepCases() {
+  std::vector<SessionSweepCase> Cases;
+  for (int G = 0; G != 3; ++G)
+    for (int St = 0; St != 2; ++St)
+      for (uint64_t Seed : {11u, 12u})
+        Cases.push_back(SessionSweepCase{G, St, Seed});
+  return Cases; // 3 grammars x 2 strategies x 2 seeds, 80 edits each
+}
+
+std::string sweepName(const ::testing::TestParamInfo<SessionSweepCase> &I) {
+  static const char *Grammars[] = {"desk", "repmin", "minipascal"};
+  static const char *Strategies[] = {"FromRoot", "StartAnywhere"};
+  return std::string(Grammars[I.param.GrammarIdx]) + "_" +
+         Strategies[I.param.StrategyIdx] + "_seed" +
+         std::to_string(I.param.Seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(LargeSessions, LargeSessionOracleTest,
+                         ::testing::ValuesIn(sweepCases()), sweepName);
 
 } // namespace
